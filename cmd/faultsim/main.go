@@ -1,0 +1,107 @@
+// Command faultsim runs a transient-fault campaign against SSME: repeated
+// bursts corrupting a chosen number of registers, each followed by
+// autonomous re-stabilization, with per-burst recovery statistics.
+//
+// Example:
+//
+//	faultsim -topology grid -n 20 -daemon sync -bursts 10 -corrupt 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"specstab/internal/cli"
+	"specstab/internal/core"
+	"specstab/internal/faults"
+	"specstab/internal/sim"
+	"specstab/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topology   = flag.String("topology", "ring", "topology: "+cli.Topologies)
+		n          = flag.Int("n", 12, "number of vertices")
+		daemonName = flag.String("daemon", "sync", "daemon: "+cli.Daemons)
+		prob       = flag.Float64("p", 0.5, "activation probability of the distributed daemon")
+		bursts     = flag.Int("bursts", 5, "number of fault bursts")
+		corrupt    = flag.Int("corrupt", 0, "registers corrupted per burst (0 = all)")
+		quiet      = flag.Int("quiet", 8, "steps between bursts")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	g, err := cli.ParseTopology(*topology, *n, *seed)
+	if err != nil {
+		return err
+	}
+	p, err := core.New(g)
+	if err != nil {
+		return err
+	}
+	k := *corrupt
+	if k <= 0 || k > g.N() {
+		k = g.N()
+	}
+
+	horizon := p.ServiceWindow()
+	if *daemonName != "sync" && *daemonName != "sd" {
+		horizon = p.UnfairBoundMoves()
+	}
+	scenario := faults.Scenario[int]{
+		Protocol: p,
+		NewDaemon: func() sim.Daemon[int] {
+			d, err := cli.ParseDaemon[int](*daemonName, g.N(), *prob)
+			if err != nil {
+				panic(err) // validated below before Run
+			}
+			return d
+		},
+		Legit:        p.Legitimate,
+		Safe:         p.SafeME,
+		HorizonSteps: horizon,
+	}
+	if _, err := cli.ParseDaemon[int](*daemonName, g.N(), *prob); err != nil {
+		return err
+	}
+
+	burstList := make([]faults.Burst, *bursts)
+	for i := range burstList {
+		burstList[i] = faults.Burst{AfterSteps: *quiet, CorruptVertices: k}
+	}
+
+	fmt.Printf("fault campaign on %s under %s: %d bursts × %d corrupted registers\n\n",
+		g, *daemonName, *bursts, k)
+	initial := sim.RandomConfig[int](p, rand.New(rand.NewSource(*seed)))
+	recs, err := scenario.Run(initial, burstList, *seed)
+	if err != nil {
+		return err
+	}
+
+	table := stats.NewTable("recoveries", "burst", "recovered", "steps", "moves", "safety violations pre-Γ₁", "closure")
+	allOK := true
+	for i, rec := range recs {
+		okStr := "ok"
+		if !rec.Recovered || rec.ViolationAfterLegit {
+			okStr = "FAILED"
+			allOK = false
+		}
+		table.AddRow(i+1, rec.Recovered, rec.StepsToLegit, rec.MovesToLegit, rec.SafetyViolations, okStr)
+	}
+	fmt.Println(table)
+	if allOK {
+		fmt.Println("every burst was followed by autonomous re-stabilization — Theorem 1 as a contract")
+	} else {
+		fmt.Println("RECOVERY FAILURE — this refutes Theorem 1 and is a bug worth reporting")
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command specbench regenerates the paper's "evaluation": every experiment
+// of DESIGN.md §4 (E1–E8), printed as plain-text tables or CSV.
+//
+// Usage:
+//
+//	specbench [-experiment e3] [-quick] [-seed 42] [-csv]
+//
+// Without -experiment the full suite runs in order. EXPERIMENTS.md records
+// a full run next to the paper's claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specstab/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "specbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID = flag.String("experiment", "", "experiment id (e1..e8); empty runs all")
+		quick = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed}
+	list := experiments.Registry()
+	if *expID != "" {
+		exp, err := experiments.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		list = []experiments.Experiment{exp}
+	}
+
+	for _, exp := range list {
+		fmt.Printf("### %s — %s\n\n", exp.ID, exp.Title)
+		tables, err := exp.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Println(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+	return nil
+}

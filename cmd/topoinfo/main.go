@@ -1,0 +1,79 @@
+// Command topoinfo prints the topology constants of a communication graph
+// and the SSME clock it implies: n, m, diam(g), hole(g), cyclo and lcp
+// bounds, the cherry parameters, and the privilege values.
+//
+// Example:
+//
+//	topoinfo -topology torus -n 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specstab/internal/cli"
+	"specstab/internal/core"
+	"specstab/internal/unison"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topoinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topology = flag.String("topology", "ring", "topology: "+cli.Topologies)
+		n        = flag.Int("n", 12, "number of vertices")
+		seed     = flag.Int64("seed", 1, "random seed (random topologies)")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of the report")
+		figure   = flag.Bool("figure", false, "render the SSME clock cherry")
+	)
+	flag.Parse()
+
+	g, err := cli.ParseTopology(*topology, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(g.DOT(nil))
+		return nil
+	}
+
+	fmt.Printf("graph        : %s\n", g.Name())
+	fmt.Printf("n, m         : %d, %d\n", g.N(), g.M())
+	fmt.Printf("diameter     : %d\n", g.Diameter())
+	fmt.Printf("radius       : %d\n", g.Radius())
+	u, v := g.Peripheral()
+	fmt.Printf("peripheral   : (%d, %d)\n", u, v)
+	if h, exact := g.Hole(); exact {
+		fmt.Printf("hole(g)      : %d (exact)\n", h)
+	} else {
+		fmt.Printf("hole(g)      : ≤ %d (search budget exhausted)\n", g.N())
+	}
+	fmt.Printf("cyclo bound  : %d\n", g.CycloBound())
+	if l, exact := g.LongestChordlessPath(); exact {
+		fmt.Printf("lcp(g)       : %d (exact)\n", l)
+	} else {
+		fmt.Printf("lcp(g)       : ≤ %d (search budget exhausted)\n", g.N())
+	}
+	fmt.Printf("is tree      : %v\n", g.IsTree())
+
+	p, err := core.New(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSSME clock   : %s\n", p.Clock())
+	fmt.Printf("sync bound   : ⌈diam/2⌉ = %d steps (Theorems 2+4)\n", core.SyncBound(g))
+	fmt.Printf("unfair bound : %d moves (Theorem 3)\n", p.UnfairBoundMoves())
+	fmt.Printf("priv values  : id 0 → %d … id n−1 → %d (spacing 2·diam = %d)\n",
+		p.PrivilegeValue(0), p.PrivilegeValue(g.N()-1), 2*g.Diameter())
+	fmt.Printf("unison (min) : %s would already stabilize plain unison\n", unison.MinimalParams(g))
+	if *figure {
+		fmt.Printf("\n%s", p.Clock().Render())
+	}
+	return nil
+}

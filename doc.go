@@ -1,0 +1,15 @@
+// Package specstab is a faithful, executable reproduction of
+// "Introducing Speculation in Self-Stabilization: An Application to Mutual
+// Exclusion" (Dubois & Guerraoui, PODC 2013).
+//
+// The repository mechanizes the paper's model (guarded-command protocols
+// under daemons, Section 2), its notion of speculative stabilization
+// (Section 3), the SSME mutual-exclusion protocol built on self-stabilizing
+// asynchronous unison (Section 4), and the synchronous lower bound
+// construction (Section 5).
+//
+// The library lives under internal/ (see DESIGN.md for the inventory);
+// runnable entry points are under cmd/ and examples/; the benchmark harness
+// regenerating every paper claim is bench_test.go together with
+// internal/experiments.
+package specstab

@@ -1,0 +1,56 @@
+// Lowerbound: Theorem 4 made visible. Information travels one hop per
+// synchronous step, so for t < ⌈diam/2⌉ two antipodal vertices cannot yet
+// have heard of each other's state: the island configuration makes both
+// privileged at step t. The privilege timeline shows the double privilege
+// marching right up to the bound — and vanishing exactly at ⌈diam/2⌉.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specstab/internal/core"
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+	"specstab/internal/trace"
+)
+
+func main() {
+	g := graph.Path(13) // diam 12: bound ⌈12/2⌉ = 6
+	p, err := core.New(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := core.SyncBound(g)
+	fmt.Printf("SSME on %s — Theorem 4 lower bound: no protocol stabilizes in < %d sync steps\n\n", g, bound)
+
+	for _, t := range []int{0, 2, p.MaxDoublePrivilegeStep()} {
+		initial, err := p.DoublePrivilegeConfig(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+		rec := trace.NewRecorder[int](1)
+		rec.Watch(e)
+		for s := 0; s < bound+2; s++ {
+			if _, err := e.Step(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("island configuration scheduled for double privilege at step t=%d:\n", t)
+		fmt.Println(trace.PrivilegeTimeline[int](rec, g.N(), p.Privileged))
+	}
+
+	worst, err := p.WorstSyncConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := p.MeasureSync(worst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured stabilization from the deepest islands: %d steps = ⌈diam/2⌉ = %d\n",
+		rep.ConvergenceSteps, bound)
+	fmt.Println("upper bound (Theorem 2) meets lower bound (Theorem 4): SSME is optimal.")
+}

@@ -1,0 +1,171 @@
+package bfstree
+
+import (
+	"math/rand"
+	"testing"
+
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+)
+
+func testGraphs(tb testing.TB) []*graph.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(3))
+	return []*graph.Graph{
+		graph.Ring(9),
+		graph.Path(8),
+		graph.Star(7),
+		graph.Grid(3, 4),
+		graph.Complete(5),
+		graph.BinaryTree(10),
+		graph.Petersen(),
+		graph.RandomConnected(10, 6, rng),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(5)
+	if _, err := New(g, -1); err == nil {
+		t.Error("want error for negative root")
+	}
+	if _, err := New(g, 5); err == nil {
+		t.Error("want error for out-of-range root")
+	}
+	if _, err := New(g, 2); err != nil {
+		t.Errorf("valid root rejected: %v", err)
+	}
+}
+
+func TestFixpointIsExactlyBFS(t *testing.T) {
+	t.Parallel()
+	for _, g := range testGraphs(t) {
+		p := MustNew(g, 0)
+		// The correct configuration is terminal…
+		correct := make(sim.Config[int], g.N())
+		for v := range correct {
+			correct[v] = g.Dist(0, v)
+		}
+		if !sim.Terminal[int](p, correct) {
+			t.Errorf("%s: BFS distances are not a fixpoint", g.Name())
+		}
+		if !p.Correct(correct) {
+			t.Errorf("%s: Correct rejects the BFS distances", g.Name())
+		}
+		// …and any perturbed configuration is not.
+		perturbed := correct.Clone()
+		perturbed[g.N()-1] += 3
+		if sim.Terminal[int](p, perturbed) {
+			t.Errorf("%s: perturbed configuration should enable a rule", g.Name())
+		}
+	}
+}
+
+func TestConvergesUnderAllDaemons(t *testing.T) {
+	t.Parallel()
+	for _, g := range testGraphs(t) {
+		p := MustNew(g, 0)
+		daemons := []sim.Daemon[int]{
+			daemon.NewSynchronous[int](),
+			daemon.NewRandomCentral[int](),
+			daemon.NewRoundRobin[int](g.N()),
+			daemon.NewDistributed[int](0.4),
+			daemon.NewGreedyCentral[int](p, p.ErrorMass),
+			daemon.NewLookahead[int](p, p.ErrorMass, 3),
+		}
+		rng := rand.New(rand.NewSource(17))
+		for _, d := range daemons {
+			for trial := 0; trial < 3; trial++ {
+				e := sim.MustEngine[int](p, d, sim.RandomConfig[int](p, rng), int64(trial))
+				fix, err := sim.RunToFixpoint(e, p.UnfairHorizonMoves())
+				if err != nil {
+					t.Fatalf("%s under %s: %v", g.Name(), d.Name(), err)
+				}
+				if !fix {
+					t.Fatalf("%s under %s: no fixpoint within %d steps", g.Name(), d.Name(), p.UnfairHorizonMoves())
+				}
+				if !p.Correct(e.Current()) {
+					t.Errorf("%s under %s: stabilized to wrong levels %v", g.Name(), d.Name(), e.Current())
+				}
+			}
+		}
+	}
+}
+
+func TestSynchronousStepsScaleWithDiameter(t *testing.T) {
+	t.Parallel()
+	// Section 3: min+1 is Θ(diam(g)) under sd. On paths rooted at an end,
+	// the stabilization wave needs ~diam steps; verify the linear shape
+	// and that a fat graph with small diameter is much faster than a path
+	// of equal size.
+	syncSteps := func(g *graph.Graph, seed int64) int {
+		p := MustNew(g, 0)
+		rng := rand.New(rand.NewSource(seed))
+		worst := 0
+		for trial := 0; trial < 30; trial++ {
+			e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), sim.RandomConfig[int](p, rng), 1)
+			fix, err := sim.RunToFixpoint(e, p.SyncHorizon())
+			if err != nil || !fix {
+				t.Fatalf("%s: fixpoint=%v err=%v", g.Name(), fix, err)
+			}
+			if e.Steps() > worst {
+				worst = e.Steps()
+			}
+		}
+		return worst
+	}
+	pathSteps := syncSteps(graph.Path(24), 1)
+	starSteps := syncSteps(graph.Star(24), 2)
+	if pathSteps <= 2*starSteps {
+		t.Errorf("path-24 sync steps (%d) should far exceed star-24 (%d): Θ(diam) separation missing",
+			pathSteps, starSteps)
+	}
+	if d := graph.Path(24).Diameter(); pathSteps > 2*d+4 {
+		t.Errorf("path-24 sync steps %d exceed 2·diam+4 = %d", pathSteps, 2*d+4)
+	}
+}
+
+func TestZeroValuedAdversarialStart(t *testing.T) {
+	t.Parallel()
+	// All-zero levels force the under-estimate climb: far vertices must
+	// ratchet up one per step. The wave still finishes within SyncHorizon.
+	g := graph.Path(16)
+	p := MustNew(g, 0)
+	zero := make(sim.Config[int], g.N())
+	e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), zero, 1)
+	fix, err := sim.RunToFixpoint(e, p.SyncHorizon())
+	if err != nil || !fix {
+		t.Fatalf("fixpoint=%v err=%v", fix, err)
+	}
+	if !p.Correct(e.Current()) {
+		t.Fatalf("stabilized to wrong levels: %v", e.Current())
+	}
+	if d := g.Diameter(); e.Steps() < d {
+		t.Errorf("all-zero start finished in %d steps, faster than diameter %d — implausible", e.Steps(), d)
+	}
+}
+
+func TestUnfairMovesWithinQuadraticBudget(t *testing.T) {
+	t.Parallel()
+	// Θ(n²) under ud: all runs must fit the 4n²+4n budget, and the greedy
+	// adversary on a ring should force superlinear growth.
+	measure := func(n int) int {
+		g := graph.Ring(n)
+		p := MustNew(g, 0)
+		zero := make(sim.Config[int], n) // all-zero: maximal under-estimates
+		e := sim.MustEngine[int](p, daemon.NewGreedyCentral[int](p, p.ErrorMass), zero, 1)
+		fix, err := sim.RunToFixpoint(e, p.UnfairHorizonMoves())
+		if err != nil || !fix {
+			t.Fatalf("n=%d: fixpoint=%v err=%v", n, fix, err)
+		}
+		return e.Moves()
+	}
+	m8, m16 := measure(8), measure(16)
+	if m16 < 3*m8 {
+		t.Errorf("greedy adversary moves grew %d → %d when doubling n; expected ≳4× for Θ(n²)", m8, m16)
+	}
+	if m16 > 4*16*16+4*16 {
+		t.Errorf("moves %d exceed the 4n²+4n budget", m16)
+	}
+}

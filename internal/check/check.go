@@ -1,0 +1,319 @@
+// Package check is an exhaustive model checker for the guarded-command
+// protocols of this repository on small instances. Where the measurement
+// harness samples schedules, the checker enumerates them all: it computes
+// the exact worst-case stabilization time over every execution allowed by
+// the unfair distributed daemon (every non-empty subset of enabled vertices
+// at every step), verifies closure of the legitimacy set, detects
+// deadlocks, and — for the synchronous daemon, which is deterministic —
+// measures the exact worst case over every initial configuration.
+//
+// The non-legitimate region of a self-stabilizing protocol must be acyclic
+// (an execution looping outside the legitimacy set would never converge,
+// contradicting self-stabilization under ud); the checker's DFS therefore
+// either returns exact longest-path values or a concrete cycle witness
+// refuting convergence — which is exactly what the E8 ablation elicits
+// from Dijkstra's ring with an under-provisioned K < n.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"specstab/internal/sim"
+)
+
+// Options configures an exhaustive check.
+type Options[S comparable] struct {
+	// Domain returns vertex v's full state domain. Required, and it must
+	// be closed under the protocol's rules (every Apply result lies in
+	// the domain) — true for clock-valued protocols, matching and
+	// Dijkstra rings, but NOT for min+1 BFS, whose levels can transiently
+	// exceed any fixed bound (use SyncWorst for such protocols). A rule
+	// producing an out-of-domain state panics with a diagnostic.
+	Domain func(v int) []S
+	// Legit is the legitimacy predicate (DFS leaves). Required.
+	Legit func(sim.Config[S]) bool
+	// Safe is the problem's safety predicate, checked on legitimate
+	// configurations (optional; nil means "always safe").
+	Safe func(sim.Config[S]) bool
+	// Central restricts the adversary to single-vertex selections (the
+	// central daemon cd) instead of all non-empty subsets (ud).
+	Central bool
+	// CheckClosure additionally verifies that every successor of every
+	// legitimate configuration is legitimate.
+	CheckClosure bool
+	// MaxConfigs bounds the state space; Exhaustive refuses larger
+	// instances rather than thrash (default 2,000,000).
+	MaxConfigs int
+}
+
+// Report is the outcome of an exhaustive check.
+type Report[S comparable] struct {
+	// Configs is the number of configurations enumerated.
+	Configs int
+	// LegitCount is how many of them are legitimate.
+	LegitCount int
+	// UnsafeLegit counts legitimate configurations violating Safe — must
+	// be 0 for SSME (Theorem 1's safety argument).
+	UnsafeLegit int
+	// DeadlockCount counts terminal non-legitimate configurations.
+	DeadlockCount int
+	// ClosureViolations counts legitimate configurations with a
+	// non-legitimate successor (0 when CheckClosure is false).
+	ClosureViolations int
+
+	// WorstSteps and WorstMoves are the exact worst-case stabilization
+	// time to the legitimacy set over all schedules of the chosen daemon
+	// class, maximized over all initial configurations.
+	WorstSteps int
+	WorstMoves int
+	// WorstConfig attains WorstSteps.
+	WorstConfig sim.Config[S]
+
+	// NonConverging is true when a cycle exists outside the legitimacy
+	// set; CycleWitness is a configuration on such a cycle. When set, the
+	// Worst* fields are meaningless.
+	NonConverging bool
+	CycleWitness  sim.Config[S]
+}
+
+// ErrTooLarge reports a state space above Options.MaxConfigs.
+var ErrTooLarge = errors.New("check: state space exceeds MaxConfigs")
+
+const defaultMaxConfigs = 2_000_000
+
+type node struct {
+	steps int32
+	moves int32
+	color int8 // 0 unvisited, 1 on stack, 2 done
+}
+
+// Exhaustive runs the full check. See the package comment for semantics.
+func Exhaustive[S comparable](p sim.Protocol[S], opt Options[S]) (Report[S], error) {
+	var rep Report[S]
+	if opt.Domain == nil || opt.Legit == nil {
+		return rep, errors.New("check: Domain and Legit are required")
+	}
+	maxConfigs := opt.MaxConfigs
+	if maxConfigs == 0 {
+		maxConfigs = defaultMaxConfigs
+	}
+	n := p.N()
+	if n > 16 {
+		return rep, fmt.Errorf("check: %d vertices exceed the subset-enumeration limit of 16", n)
+	}
+
+	domains := make([][]S, n)
+	index := make([]map[S]int, n)
+	total := 1
+	for v := 0; v < n; v++ {
+		domains[v] = opt.Domain(v)
+		if len(domains[v]) == 0 {
+			return rep, fmt.Errorf("check: empty domain for vertex %d", v)
+		}
+		index[v] = make(map[S]int, len(domains[v]))
+		for i, s := range domains[v] {
+			index[v][s] = i
+		}
+		if total > maxConfigs/len(domains[v]) {
+			return rep, fmt.Errorf("%w: more than %d configurations", ErrTooLarge, maxConfigs)
+		}
+		total *= len(domains[v])
+	}
+
+	key := func(c sim.Config[S]) string {
+		buf := make([]byte, 2*n)
+		for v := 0; v < n; v++ {
+			i, ok := index[v][c[v]]
+			if !ok {
+				// A rule produced a state outside the declared domain;
+				// that is a modelling error worth failing loudly on.
+				panic(fmt.Sprintf("check: state %v of vertex %d outside its domain", c[v], v))
+			}
+			buf[2*v] = byte(i)
+			buf[2*v+1] = byte(i >> 8)
+		}
+		return string(buf)
+	}
+
+	nodes := make(map[string]*node, total)
+
+	// value computes the adversary-optimal (steps, moves) to the
+	// legitimacy set from c, detecting cycles. Iterative DFS with an
+	// explicit stack (worst chains exceed comfortable recursion depths on
+	// the larger instances).
+	var cycleFound bool
+	var cycleWitness sim.Config[S]
+
+	type frame struct {
+		cfg      sim.Config[S]
+		k        string
+		children []sim.Config[S]
+		moves    []int32
+		next     int
+	}
+
+	successors := func(c sim.Config[S]) ([]sim.Config[S], []int32) {
+		enabled := sim.Enabled(p, c, nil)
+		if len(enabled) == 0 {
+			return nil, nil
+		}
+		var sels [][]int
+		if opt.Central {
+			for _, v := range enabled {
+				sels = append(sels, []int{v})
+			}
+		} else {
+			for mask := 1; mask < 1<<len(enabled); mask++ {
+				sel := make([]int, 0, bits.OnesCount(uint(mask)))
+				for i, v := range enabled {
+					if mask&(1<<i) != 0 {
+						sel = append(sel, v)
+					}
+				}
+				sels = append(sels, sel)
+			}
+		}
+		kids := make([]sim.Config[S], 0, len(sels))
+		moves := make([]int32, 0, len(sels))
+		for _, sel := range sels {
+			next := c.Clone()
+			for _, v := range sel {
+				r, ok := p.EnabledRule(c, v)
+				if !ok {
+					continue
+				}
+				next[v] = p.Apply(c, v, r)
+			}
+			kids = append(kids, next)
+			moves = append(moves, int32(len(sel)))
+		}
+		return kids, moves
+	}
+
+	value := func(start sim.Config[S]) (int32, int32) {
+		k0 := key(start)
+		if nd, ok := nodes[k0]; ok && nd.color == 2 {
+			return nd.steps, nd.moves
+		}
+		stack := []*frame{{cfg: start.Clone(), k: k0}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			nd, ok := nodes[f.k]
+			if !ok {
+				nd = &node{}
+				nodes[f.k] = nd
+			}
+			if f.children == nil {
+				if nd.color == 2 {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				nd.color = 1
+				if opt.Legit(f.cfg) {
+					nd.steps, nd.moves, nd.color = 0, 0, 2
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				kids, moves := successors(f.cfg)
+				if len(kids) == 0 {
+					// Terminal non-legitimate configuration: a deadlock.
+					nd.steps, nd.moves, nd.color = 0, 0, 2
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				f.children, f.moves = kids, moves
+			}
+			if f.next < len(f.children) {
+				child := f.children[f.next]
+				ck := key(child)
+				cn, seen := nodes[ck]
+				if seen && cn.color == 1 {
+					if !cycleFound {
+						cycleFound = true
+						cycleWitness = child.Clone()
+					}
+					f.next++ // skip the cyclic child; the flag is recorded
+					continue
+				}
+				if seen && cn.color == 2 {
+					if s := 1 + cn.steps; s > nd.steps {
+						nd.steps = s
+					}
+					if m := f.moves[f.next] + cn.moves; m > nd.moves {
+						nd.moves = m
+					}
+					f.next++
+					continue
+				}
+				stack = append(stack, &frame{cfg: child, k: ck})
+				continue
+			}
+			// All children resolved; fold them (done incrementally above).
+			nd.color = 2
+			stack = stack[:len(stack)-1]
+		}
+		nd := nodes[k0]
+		return nd.steps, nd.moves
+	}
+
+	// Enumerate every configuration.
+	idx := make([]int, n)
+	cfg := make(sim.Config[S], n)
+	for v := 0; v < n; v++ {
+		cfg[v] = domains[v][0]
+	}
+	for {
+		rep.Configs++
+		legit := opt.Legit(cfg)
+		if legit {
+			rep.LegitCount++
+			if opt.Safe != nil && !opt.Safe(cfg) {
+				rep.UnsafeLegit++
+			}
+			if opt.CheckClosure {
+				kids, _ := successors(cfg)
+				for _, kid := range kids {
+					if !opt.Legit(kid) {
+						rep.ClosureViolations++
+						break
+					}
+				}
+			}
+		} else {
+			if sim.Terminal(p, cfg) {
+				rep.DeadlockCount++
+			}
+			steps, moves := value(cfg)
+			if cycleFound {
+				rep.NonConverging = true
+				rep.CycleWitness = cycleWitness
+				return rep, nil
+			}
+			if int(steps) > rep.WorstSteps {
+				rep.WorstSteps = int(steps)
+				rep.WorstConfig = cfg.Clone()
+			}
+			if int(moves) > rep.WorstMoves {
+				rep.WorstMoves = int(moves)
+			}
+		}
+		// Odometer increment.
+		v := 0
+		for v < n {
+			idx[v]++
+			if idx[v] < len(domains[v]) {
+				cfg[v] = domains[v][idx[v]]
+				break
+			}
+			idx[v] = 0
+			cfg[v] = domains[v][0]
+			v++
+		}
+		if v == n {
+			break
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,133 @@
+package check
+
+import (
+	"testing"
+
+	"specstab/internal/bfstree"
+	"specstab/internal/graph"
+	"specstab/internal/matching"
+	"specstab/internal/sim"
+)
+
+// The checker is generic over the state type; these tests drive it with
+// struct states (matching) and with silent protocols (BFS), exercising the
+// paths the int-state SSME/unison/dijkstra tests cannot.
+
+func matchingDomain(g *graph.Graph) func(int) []matching.State {
+	return func(v int) []matching.State {
+		var dom []matching.State
+		for _, m := range []bool{false, true} {
+			dom = append(dom, matching.State{P: matching.Null, M: m})
+			for _, u := range g.Neighbors(v) {
+				dom = append(dom, matching.State{P: u, M: m})
+			}
+		}
+		return dom
+	}
+}
+
+func TestMatchingExhaustiveOnTriangle(t *testing.T) {
+	t.Parallel()
+	// K3: domain is 8 states per vertex → 512 configurations; every ud
+	// schedule must reach a maximal matching (here: one married pair) and
+	// stay there (silent protocol: legitimacy = fixpoint-correctness).
+	g := graph.Complete(3)
+	p := matching.New(g)
+	legit := func(c sim.Config[matching.State]) bool {
+		return sim.Terminal[matching.State](p, c) && p.IsMaximalMatching(c)
+	}
+	rep, err := Exhaustive[matching.State](p, Options[matching.State]{
+		Domain:       matchingDomain(g),
+		Legit:        legit,
+		CheckClosure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonConverging {
+		t.Fatalf("matching diverges on K3 from %v", rep.CycleWitness)
+	}
+	if rep.DeadlockCount != 0 {
+		t.Errorf("%d terminal configurations that are not maximal matchings", rep.DeadlockCount)
+	}
+	if rep.ClosureViolations != 0 {
+		t.Errorf("%d moves out of a terminal configuration — impossible", rep.ClosureViolations)
+	}
+	if rep.WorstMoves > p.UnfairBoundMoves() {
+		t.Errorf("exact worst %d moves > 4n+2m = %d", rep.WorstMoves, p.UnfairBoundMoves())
+	}
+	t.Logf("K3 matching: %d configs, exact worst %d steps / %d moves (bound %d)",
+		rep.Configs, rep.WorstSteps, rep.WorstMoves, p.UnfairBoundMoves())
+}
+
+func TestMatchingExhaustiveOnPath(t *testing.T) {
+	t.Parallel()
+	// P4: mixed degrees (ends have a single neighbor).
+	g := graph.Path(4)
+	p := matching.New(g)
+	legit := func(c sim.Config[matching.State]) bool {
+		return sim.Terminal[matching.State](p, c) && p.IsMaximalMatching(c)
+	}
+	rep, err := Exhaustive[matching.State](p, Options[matching.State]{
+		Domain: matchingDomain(g),
+		Legit:  legit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonConverging || rep.DeadlockCount != 0 {
+		t.Fatalf("P4 matching: diverging=%v deadlocks=%d", rep.NonConverging, rep.DeadlockCount)
+	}
+	if rep.WorstMoves > p.UnfairBoundMoves() {
+		t.Errorf("exact worst %d > bound %d", rep.WorstMoves, p.UnfairBoundMoves())
+	}
+}
+
+func TestBFSSyncWorstExhaustive(t *testing.T) {
+	t.Parallel()
+	// min+1's level domain is not closed under its rules (levels can
+	// transiently exceed any fixed bound), so the ud checker does not
+	// apply — but SyncWorst only enumerates *initial* configurations and
+	// simulates freely, so the exact synchronous worst case over all
+	// [0,4]^4 starts is still computable: it must respect the Θ(diam)
+	// claim of Section 3.
+	g := graph.Path(4)
+	p := bfstree.MustNew(g, 0)
+	rep, err := SyncWorst[int](p, SyncOptions[int]{
+		Domain:  func(int) []int { return []int{0, 1, 2, 3, 4} },
+		Safe:    p.Correct,
+		Horizon: p.SyncHorizon(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Configs != 625 {
+		t.Errorf("enumerated %d configs, want 5^4", rep.Configs)
+	}
+	if rep.WorstSteps > p.SyncHorizon() {
+		t.Errorf("exact sync worst %d exceeds horizon", rep.WorstSteps)
+	}
+	t.Logf("P4 min+1: exact synchronous worst over all 625 starts = %d steps (diam %d)",
+		rep.WorstSteps, g.Diameter())
+}
+
+func TestSyncWorstGenericState(t *testing.T) {
+	t.Parallel()
+	g := graph.Complete(3)
+	p := matching.New(g)
+	correct := func(c sim.Config[matching.State]) bool {
+		return sim.Terminal[matching.State](p, c) && p.IsMaximalMatching(c)
+	}
+	rep, err := SyncWorst[matching.State](p, SyncOptions[matching.State]{
+		Domain:  matchingDomain(g),
+		Safe:    correct,
+		Horizon: p.SyncBoundSteps() + 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstSteps > p.SyncBoundSteps() {
+		t.Errorf("exact synchronous worst %d > 2n+1 = %d", rep.WorstSteps, p.SyncBoundSteps())
+	}
+	t.Logf("K3 matching: exact synchronous worst = %d steps (bound %d)", rep.WorstSteps, p.SyncBoundSteps())
+}

@@ -1,0 +1,195 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"specstab/internal/core"
+	"specstab/internal/dijkstra"
+	"specstab/internal/graph"
+	"specstab/internal/unison"
+)
+
+func TestSSMEExhaustiveSyncMatchesTheorem2(t *testing.T) {
+	t.Parallel()
+	// Exhaustive certification of Theorem 2 on small instances: over ALL
+	// initial configurations, the synchronous stabilization time is at
+	// most ⌈diam/2⌉ — and exactly ⌈diam/2⌉, confirming optimality
+	// (Theorem 4) constructively.
+	for _, g := range []*graph.Graph{graph.Ring(3), graph.Path(3)} {
+		p := core.MustNew(g)
+		rep, err := SyncWorst[int](p, SyncOptions[int]{
+			Domain:  func(int) []int { return p.Clock().Values() },
+			Safe:    p.SafeME,
+			Legit:   p.Legitimate,
+			Horizon: p.ServiceWindow(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		want := core.SyncBound(g)
+		if rep.WorstSteps != want {
+			t.Errorf("%s: exhaustive synchronous worst case = %d steps, want exactly ⌈diam/2⌉ = %d (worst config %v)",
+				g.Name(), rep.WorstSteps, want, rep.WorstConfig)
+		}
+		if rep.WorstLegitEntry > p.SyncUnisonHorizon() {
+			t.Errorf("%s: worst Γ₁ entry %d exceeds 2n+diam = %d",
+				g.Name(), rep.WorstLegitEntry, p.SyncUnisonHorizon())
+		}
+		t.Logf("%s: %d configurations, worst conv %d steps, worst Γ₁ entry %d",
+			g.Name(), rep.Configs, rep.WorstSteps, rep.WorstLegitEntry)
+	}
+}
+
+func TestSSMEExhaustiveUnfair(t *testing.T) {
+	t.Parallel()
+	// Every ud schedule from every configuration: convergence (no cycles
+	// outside Γ₁), closure of Γ₁, no deadlocks, safety inside Γ₁, and the
+	// exact worst-case move count within Theorem 3's bound.
+	g := graph.Ring(3)
+	p := core.MustNew(g)
+	rep, err := Exhaustive[int](p, Options[int]{
+		Domain:       func(int) []int { return p.Clock().Values() },
+		Legit:        p.Legitimate,
+		Safe:         p.SafeME,
+		CheckClosure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonConverging {
+		t.Fatalf("cycle outside Γ₁ found at %v — refutes Theorem 1", rep.CycleWitness)
+	}
+	if rep.DeadlockCount != 0 {
+		t.Errorf("%d deadlocked configurations — unison must always progress", rep.DeadlockCount)
+	}
+	if rep.ClosureViolations != 0 {
+		t.Errorf("%d closure violations of Γ₁", rep.ClosureViolations)
+	}
+	if rep.UnsafeLegit != 0 {
+		t.Errorf("%d legitimate configurations with two privileges — refutes Theorem 1 safety", rep.UnsafeLegit)
+	}
+	if bound := p.UnfairBoundMoves(); rep.WorstMoves > bound {
+		t.Errorf("exact worst-case moves %d exceed Theorem 3 bound %d", rep.WorstMoves, bound)
+	}
+	t.Logf("ring-3: %d configs, %d legit, exact worst ud stabilization: %d steps / %d moves (bound %d)",
+		rep.Configs, rep.LegitCount, rep.WorstSteps, rep.WorstMoves, p.UnfairBoundMoves())
+}
+
+func TestUnisonMinimalParamsExhaustive(t *testing.T) {
+	t.Parallel()
+	// The tightest clock Boulinier et al. allow on a path (α=1, K=3 for a
+	// tree: hole=2, cyclo=2) still self-stabilizes under every ud
+	// schedule.
+	g := graph.Path(4)
+	u, err := unison.New(g, unison.MinimalParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Exhaustive[int](u, Options[int]{
+		Domain:       func(int) []int { return u.Clock().Values() },
+		Legit:        u.Legitimate,
+		CheckClosure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonConverging {
+		t.Fatalf("minimal-parameter unison has a non-converging cycle at %v", rep.CycleWitness)
+	}
+	if rep.DeadlockCount != 0 || rep.ClosureViolations != 0 {
+		t.Errorf("deadlocks=%d closure violations=%d", rep.DeadlockCount, rep.ClosureViolations)
+	}
+	t.Logf("path-4 minimal unison: %d configs, worst %d steps / %d moves",
+		rep.Configs, rep.WorstSteps, rep.WorstMoves)
+}
+
+func TestDijkstraExhaustiveConverges(t *testing.T) {
+	t.Parallel()
+	p := dijkstra.MustNew(4, 4)
+	rep, err := Exhaustive[int](p, Options[int]{
+		Domain: func(int) []int { return []int{0, 1, 2, 3} },
+		Legit:  p.Legitimate,
+		Safe:   p.SafeME,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonConverging {
+		t.Fatalf("Dijkstra K=n found non-converging at %v", rep.CycleWitness)
+	}
+	if rep.DeadlockCount != 0 {
+		t.Errorf("%d deadlocks", rep.DeadlockCount)
+	}
+	t.Logf("dijkstra n=4 K=4: %d configs, exact worst %d steps / %d moves",
+		rep.Configs, rep.WorstSteps, rep.WorstMoves)
+}
+
+func TestDijkstraUnderProvisionedClockDiverges(t *testing.T) {
+	t.Parallel()
+	// The E8(b) ablation: with K = 2 < n = 4 counter states the ring
+	// admits an infinite unfair schedule that never reaches a single
+	// token. The checker must produce a concrete cycle witness.
+	p, err := dijkstra.NewUnchecked(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Exhaustive[int](p, Options[int]{
+		Domain: func(int) []int { return []int{0, 1} },
+		Legit:  p.Legitimate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NonConverging {
+		t.Fatal("expected a non-convergence witness for K < n")
+	}
+	if p.Legitimate(rep.CycleWitness) {
+		t.Errorf("cycle witness %v is legitimate", rep.CycleWitness)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	t.Parallel()
+	p := dijkstra.MustNew(3, 3)
+	if _, err := Exhaustive[int](p, Options[int]{}); err == nil {
+		t.Error("want error for missing Domain/Legit")
+	}
+	if _, err := SyncWorst[int](p, SyncOptions[int]{}); err == nil {
+		t.Error("want error for missing Domain/Safe")
+	}
+	if _, err := SyncWorst[int](p, SyncOptions[int]{
+		Domain: func(int) []int { return []int{0, 1, 2} },
+		Safe:   p.SafeME,
+	}); err == nil {
+		t.Error("want error for missing Horizon")
+	}
+	_, err := Exhaustive[int](p, Options[int]{
+		Domain:     func(int) []int { return []int{0, 1, 2} },
+		Legit:      p.Legitimate,
+		MaxConfigs: 5,
+	})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestCentralVersusDistributedWorstCase(t *testing.T) {
+	t.Parallel()
+	// The central daemon is a restriction of ud, so its exact worst case
+	// can never exceed ud's.
+	p := dijkstra.MustNew(3, 3)
+	dom := func(int) []int { return []int{0, 1, 2} }
+	ud, err := Exhaustive[int](p, Options[int]{Domain: dom, Legit: p.Legitimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := Exhaustive[int](p, Options[int]{Domain: dom, Legit: p.Legitimate, Central: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.WorstMoves > ud.WorstMoves {
+		t.Errorf("central worst moves %d exceed unfair distributed worst moves %d", cd.WorstMoves, ud.WorstMoves)
+	}
+	t.Logf("dijkstra n=3: worst moves cd=%d ud=%d", cd.WorstMoves, ud.WorstMoves)
+}

@@ -1,0 +1,106 @@
+// Package cli holds the small helpers shared by the command-line tools
+// under cmd/: topology construction from flag values and daemon selection.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+)
+
+// Topologies lists the -topology values understood by ParseTopology.
+const Topologies = "ring, path, star, complete, grid, torus, hypercube, bintree, wheel, lollipop, petersen, randtree, randconn"
+
+// ParseTopology builds the graph named by name with main size n (rows
+// default to a near-square split for grid/torus; hypercube uses the
+// dimension that fits n; randconn adds n/2 extra edges).
+func ParseTopology(name string, n int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch strings.ToLower(name) {
+	case "ring":
+		return graph.Ring(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "grid":
+		rows, cols := split(n)
+		return graph.Grid(rows, cols), nil
+	case "torus":
+		rows, cols := split(n)
+		if rows < 3 {
+			rows = 3
+		}
+		if cols < 3 {
+			cols = 3
+		}
+		return graph.Torus(rows, cols), nil
+	case "hypercube":
+		dim := 1
+		for (1 << (dim + 1)) <= n {
+			dim++
+		}
+		return graph.Hypercube(dim), nil
+	case "bintree":
+		return graph.BinaryTree(n), nil
+	case "wheel":
+		return graph.Wheel(n), nil
+	case "lollipop":
+		half := n / 2
+		if half < 2 {
+			half = 2
+		}
+		return graph.Lollipop(half, n-half), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "randtree":
+		return graph.RandomTree(n, rng), nil
+	case "randconn":
+		return graph.RandomConnected(n, n/2, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (choose from: %s)", name, Topologies)
+	}
+}
+
+func split(n int) (rows, cols int) {
+	rows = 1
+	for r := 2; r*r <= n; r++ {
+		if n%r == 0 {
+			rows = r
+		}
+	}
+	return rows, n / rows
+}
+
+// Daemons lists the -daemon values understood by ParseDaemon.
+const Daemons = "sync, central, roundrobin, minid, maxid, distributed"
+
+// ParseDaemon builds the daemon named by name for an n-vertex system;
+// p is the activation probability of the distributed daemon.
+func ParseDaemon[S comparable](name string, n int, p float64) (sim.Daemon[S], error) {
+	switch strings.ToLower(name) {
+	case "sync", "sd":
+		return daemon.NewSynchronous[S](), nil
+	case "central", "random-central":
+		return daemon.NewRandomCentral[S](), nil
+	case "roundrobin", "rr":
+		return daemon.NewRoundRobin[S](n), nil
+	case "minid":
+		return daemon.NewMinIDCentral[S](), nil
+	case "maxid":
+		return daemon.NewMaxIDCentral[S](), nil
+	case "distributed", "ud":
+		if p <= 0 || p > 1 {
+			p = 0.5
+		}
+		return daemon.NewDistributed[S](p), nil
+	default:
+		return nil, fmt.Errorf("unknown daemon %q (choose from: %s)", name, Daemons)
+	}
+}

@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyAll(t *testing.T) {
+	t.Parallel()
+	for _, name := range strings.Split(Topologies, ", ") {
+		g, err := ParseTopology(name, 12, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if g.N() < 1 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+	if _, err := ParseTopology("klein-bottle", 8, 1); err == nil {
+		t.Error("want error for unknown topology")
+	}
+}
+
+func TestGridSplitIsBalanced(t *testing.T) {
+	t.Parallel()
+	g, err := ParseTopology("grid", 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Errorf("grid n=%d, want 12", g.N())
+	}
+	if g.Name() != "grid-3x4" {
+		t.Errorf("grid split %q, want near-square 3x4", g.Name())
+	}
+}
+
+func TestParseDaemonAll(t *testing.T) {
+	t.Parallel()
+	for _, name := range strings.Split(Daemons, ", ") {
+		d, err := ParseDaemon[int](name, 8, 0.5)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if d.Name() == "" {
+			t.Errorf("%s: empty daemon name", name)
+		}
+	}
+	if _, err := ParseDaemon[int]("maxwell", 8, 0.5); err == nil {
+		t.Error("want error for unknown daemon")
+	}
+	// Out-of-range p falls back to 0.5 rather than panicking.
+	if _, err := ParseDaemon[int]("distributed", 8, 7.0); err != nil {
+		t.Errorf("distributed with bad p: %v", err)
+	}
+}

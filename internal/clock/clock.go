@@ -1,0 +1,146 @@
+// Package clock implements the bounded clock X = (cherry(α, K), φ) of
+// Section 4.1, the data structure on which asynchronous unison — and hence
+// SSME — runs.
+//
+// cherry(α, K) = {−α, …, 0, …, K−1} is a "cherry": a tail of α+1 initial
+// values −α..0 grafted onto a ring of K correct values 0..K−1 (Figure 1
+// shows cherry(5, 12); see Render). The increment function φ walks the tail
+// up to 0 and then cycles around the ring. A reset replaces any value
+// except −α itself by −α.
+//
+// The package also provides the circular distance d_K, the local
+// comparability relation and the ≤_l relation of the paper, plus the
+// init/stab partitions initX = {−α..0} and stabX = {0..K−1}.
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clock is a bounded clock of initial value Alpha ≥ 1 and size K ≥ 2.
+// Clock values are plain ints in [−Alpha, K−1]; Clock carries no state of
+// its own and is freely copyable.
+type Clock struct {
+	Alpha int
+	K     int
+}
+
+// New validates the parameters and returns the clock (α ≥ 1, K ≥ 2,
+// following the paper's definition).
+func New(alpha, k int) (Clock, error) {
+	if alpha < 1 {
+		return Clock{}, fmt.Errorf("clock: α must be ≥ 1, got %d", alpha)
+	}
+	if k < 2 {
+		return Clock{}, fmt.Errorf("clock: K must be ≥ 2, got %d", k)
+	}
+	return Clock{Alpha: alpha, K: k}, nil
+}
+
+// MustNew is New that panics on invalid parameters (generator/test use).
+func MustNew(alpha, k int) Clock {
+	c, err := New(alpha, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Contains reports whether x is a value of cherry(α, K).
+func (c Clock) Contains(x int) bool { return x >= -c.Alpha && x < c.K }
+
+// Size returns |cherry(α, K)| = α + K.
+func (c Clock) Size() int { return c.Alpha + c.K }
+
+// Values returns all clock values in increasing tail order −α..−1 followed
+// by the ring 0..K−1.
+func (c Clock) Values() []int {
+	out := make([]int, 0, c.Size())
+	for x := -c.Alpha; x < c.K; x++ {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Phi is the increment function φ: tail values advance toward 0, ring
+// values advance modulo K.
+func (c Clock) Phi(x int) int {
+	if x < 0 {
+		return x + 1
+	}
+	return (x + 1) % c.K
+}
+
+// Reset returns the reset value −α (rule RA of unison resets to it).
+func (c Clock) Reset() int { return -c.Alpha }
+
+// InInit reports x ∈ initX = {−α, …, 0}.
+func (c Clock) InInit(x int) bool { return x >= -c.Alpha && x <= 0 }
+
+// InInitStar reports x ∈ init*X = initX \ {0}.
+func (c Clock) InInitStar(x int) bool { return x >= -c.Alpha && x < 0 }
+
+// InStab reports x ∈ stabX = {0, …, K−1}.
+func (c Clock) InStab(x int) bool { return x >= 0 && x < c.K }
+
+// InStabStar reports x ∈ stab*X = stabX \ {0}.
+func (c Clock) InStabStar(x int) bool { return x > 0 && x < c.K }
+
+// Mod returns the representative of x in [0, K) (the paper's overline).
+func (c Clock) Mod(x int) int {
+	r := x % c.K
+	if r < 0 {
+		r += c.K
+	}
+	return r
+}
+
+// DK is the circular distance d_K(c̄, c̄′) = min{c̄−c̄′, c̄′−c̄} on [0, K);
+// arguments are reduced modulo K first.
+func (c Clock) DK(a, b int) int {
+	d := c.Mod(a - b)
+	if e := c.K - d; e < d {
+		return e
+	}
+	return d
+}
+
+// LocallyComparable reports d_K(a, b) ≤ 1.
+func (c Clock) LocallyComparable(a, b int) bool { return c.DK(a, b) <= 1 }
+
+// LeqL is the local relation a ≤_l b ⇔ 0 ≤ b̄ − ā ≤ 1 (computed modulo K).
+// Note that ≤_l is not an order; it is only used between locally
+// comparable values.
+func (c Clock) LeqL(a, b int) bool {
+	d := c.Mod(b - a)
+	return d == 0 || d == 1
+}
+
+// Random returns a uniformly random cherry value; transient faults can
+// leave a register holding any of them.
+func (c Clock) Random(rng *rand.Rand) int { return rng.Intn(c.Size()) - c.Alpha }
+
+// StepsBetween returns the number of φ-applications needed to go from a to
+// b, both taken on the ring [0, K); tail values first pay their distance to
+// 0. It is the service-latency helper used by the liveness checks.
+func (c Clock) StepsBetween(a, b int) int {
+	if a < 0 {
+		return -a + c.Mod(b)
+	}
+	return c.Mod(b - a)
+}
+
+// Validate checks that x is a cherry value and returns a descriptive error
+// otherwise; the simulation engine uses it to reject corrupted states that
+// left the domain entirely (which even transient faults cannot produce in
+// the paper's model).
+func (c Clock) Validate(x int) error {
+	if !c.Contains(x) {
+		return fmt.Errorf("clock: value %d outside cherry(%d,%d)", x, c.Alpha, c.K)
+	}
+	return nil
+}
+
+// String describes the clock, e.g. "cherry(5,12)".
+func (c Clock) String() string { return fmt.Sprintf("cherry(%d,%d)", c.Alpha, c.K) }

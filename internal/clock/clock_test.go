@@ -1,0 +1,240 @@
+package clock
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		alpha, k int
+		wantErr  bool
+	}{
+		{1, 2, false},
+		{5, 12, false},
+		{0, 5, true},
+		{-1, 5, true},
+		{3, 1, true},
+		{3, 0, true},
+	}
+	for _, c := range cases {
+		_, err := New(c.alpha, c.k)
+		if (err != nil) != c.wantErr {
+			t.Errorf("New(%d,%d): err=%v, wantErr=%v", c.alpha, c.k, err, c.wantErr)
+		}
+	}
+}
+
+func TestPhiFigure1(t *testing.T) {
+	t.Parallel()
+	// Walk the full cherry(5,12) of Figure 1: the tail −5..−1 climbs to 0,
+	// then the ring cycles 0,1,…,11,0.
+	x := MustNew(5, 12)
+	v := -5
+	for want := -4; want <= 0; want++ {
+		v = x.Phi(v)
+		if v != want {
+			t.Fatalf("tail climb reached %d, want %d", v, want)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		next := x.Phi(v)
+		if v < 11 && next != v+1 {
+			t.Fatalf("φ(%d) = %d, want %d", v, next, v+1)
+		}
+		if v == 11 && next != 0 {
+			t.Fatalf("φ(11) = %d, want 0 (ring wrap)", next)
+		}
+		v = next
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	t.Parallel()
+	x := MustNew(5, 12)
+	for _, v := range x.Values() {
+		if !x.Contains(v) {
+			t.Fatalf("Values() returned non-member %d", v)
+		}
+		inInit, inStab := x.InInit(v), x.InStab(v)
+		if v == 0 && !(inInit && inStab) {
+			t.Error("0 must belong to both initX and stabX")
+		}
+		if v != 0 && inInit == inStab {
+			t.Errorf("%d: initX and stabX must only overlap at 0", v)
+		}
+		if x.InInitStar(v) != (inInit && v != 0) {
+			t.Errorf("init*X wrong at %d", v)
+		}
+		if x.InStabStar(v) != (inStab && v != 0) {
+			t.Errorf("stab*X wrong at %d", v)
+		}
+	}
+	if got, want := len(x.Values()), x.Size(); got != want {
+		t.Errorf("|Values()| = %d, want %d", got, want)
+	}
+}
+
+func TestResetAndValidate(t *testing.T) {
+	t.Parallel()
+	x := MustNew(4, 9)
+	if x.Reset() != -4 {
+		t.Errorf("Reset() = %d, want -4", x.Reset())
+	}
+	if err := x.Validate(-4); err != nil {
+		t.Errorf("Validate(-4): %v", err)
+	}
+	if err := x.Validate(9); err == nil {
+		t.Error("Validate(9) should fail (K=9 ⇒ max ring value 8)")
+	}
+	if err := x.Validate(-5); err == nil {
+		t.Error("Validate(-5) should fail")
+	}
+}
+
+// TestDKIsAMetric property-checks that d_K is a metric on [0, K): symmetry,
+// identity, triangle inequality (the proof of Theorem 2 leans on the
+// triangle inequality explicitly).
+func TestDKIsAMetric(t *testing.T) {
+	t.Parallel()
+	x := MustNew(3, 29)
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	prop := func(a, b, c uint8) bool {
+		ai, bi, ci := int(a), int(b), int(c)
+		dab, dba := x.DK(ai, bi), x.DK(bi, ai)
+		if dab != dba {
+			return false
+		}
+		if (x.Mod(ai) == x.Mod(bi)) != (dab == 0) {
+			return false
+		}
+		if dab > x.K/2 {
+			return false // circular distance is at most ⌊K/2⌋
+		}
+		return x.DK(ai, ci) <= dab+x.DK(bi, ci)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhiStaysInDomain property-checks closure of the domain under φ and
+// that φ never moves a value into the tail.
+func TestPhiStaysInDomain(t *testing.T) {
+	t.Parallel()
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}
+	prop := func(alphaRaw, kRaw uint8, pick uint16) bool {
+		alpha := int(alphaRaw)%8 + 1
+		k := int(kRaw)%20 + 2
+		x := MustNew(alpha, k)
+		v := int(pick)%x.Size() - x.Alpha
+		next := x.Phi(v)
+		if !x.Contains(next) {
+			return false
+		}
+		// φ increases tail values by one and never returns to the tail.
+		if v < 0 && next != v+1 {
+			return false
+		}
+		return v >= 0 == (next >= 0) || v < 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeqLMatchesPaper property-checks c ≤_l c′ ⇔ 0 ≤ c̄′−c̄ ≤ 1 (mod K)
+// and that locally comparable values are exactly those with d_K ≤ 1.
+func TestLeqLMatchesPaper(t *testing.T) {
+	t.Parallel()
+	x := MustNew(2, 13)
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(3))}
+	prop := func(a, b uint8) bool {
+		ai, bi := int(a), int(b)
+		diff := x.Mod(bi - ai)
+		if x.LeqL(ai, bi) != (diff == 0 || diff == 1) {
+			return false
+		}
+		if x.LocallyComparable(ai, bi) != (x.DK(ai, bi) <= 1) {
+			return false
+		}
+		// ≤_l is not an order, but it is reflexive and within-1 total on
+		// locally comparable values.
+		if !x.LeqL(ai, ai) {
+			return false
+		}
+		if x.LocallyComparable(ai, bi) && !x.LeqL(ai, bi) && !x.LeqL(bi, ai) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepsBetween(t *testing.T) {
+	t.Parallel()
+	x := MustNew(5, 12)
+	cases := []struct {
+		from, to, want int
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{11, 0, 1},
+		{-5, 0, 5},
+		{-5, 3, 8},
+		{-1, 11, 12},
+	}
+	for _, c := range cases {
+		if got := x.StepsBetween(c.from, c.to); got != c.want {
+			t.Errorf("StepsBetween(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+	// Property: applying φ StepsBetween times really lands on the target.
+	for _, from := range x.Values() {
+		for to := 0; to < x.K; to++ {
+			v := from
+			for i := 0; i < x.StepsBetween(from, to); i++ {
+				v = x.Phi(v)
+			}
+			if v != to {
+				t.Fatalf("φ^%d(%d) = %d, want %d", x.StepsBetween(from, to), from, v, to)
+			}
+		}
+	}
+}
+
+func TestRandomCoversDomain(t *testing.T) {
+	t.Parallel()
+	x := MustNew(3, 7)
+	rng := rand.New(rand.NewSource(4))
+	seen := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		v := x.Random(rng)
+		if !x.Contains(v) {
+			t.Fatalf("Random produced out-of-domain %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != x.Size() {
+		t.Errorf("Random covered %d of %d values", len(seen), x.Size())
+	}
+}
+
+func TestRenderMentionsEveryRingValue(t *testing.T) {
+	t.Parallel()
+	x := MustNew(5, 12)
+	art := x.Render()
+	for _, want := range []string{"cherry(5,12)", "11", "-5"} {
+		if !strings.Contains(art, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, art)
+		}
+	}
+	if !strings.Contains(x.Describe(), "reset→-5") {
+		t.Errorf("Describe lacks reset: %s", x.Describe())
+	}
+}

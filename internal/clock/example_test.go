@@ -1,0 +1,42 @@
+package clock_test
+
+import (
+	"fmt"
+
+	"specstab/internal/clock"
+)
+
+// The clock of Figure 1: a tail of initial values −5…0 grafted onto a ring
+// of 12 correct values.
+func Example() {
+	x := clock.MustNew(5, 12)
+	fmt.Println(x)
+	fmt.Println("φ(-2) =", x.Phi(-2))
+	fmt.Println("φ(11) =", x.Phi(11))
+	fmt.Println("d_K(11, 1) =", x.DK(11, 1))
+	fmt.Println("reset →", x.Reset())
+	// Output:
+	// cherry(5,12)
+	// φ(-2) = -1
+	// φ(11) = 0
+	// d_K(11, 1) = 2
+	// reset → -5
+}
+
+// The local relation ≤_l of the paper is not an order: around the ring,
+// both 11 ≤_l 0 and 0 ≤_l 1 hold, but 11 ≤_l 1 does not.
+func ExampleClock_LeqL() {
+	x := clock.MustNew(5, 12)
+	fmt.Println(x.LeqL(11, 0), x.LeqL(0, 1), x.LeqL(11, 1))
+	// Output: true true false
+}
+
+// initX and stabX overlap exactly at 0.
+func ExampleClock_InInit() {
+	x := clock.MustNew(3, 8)
+	fmt.Println(x.InInit(-3), x.InInit(0), x.InInit(1))
+	fmt.Println(x.InStab(-1), x.InStab(0), x.InStab(7))
+	// Output:
+	// true true false
+	// false true true
+}

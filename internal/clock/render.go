@@ -1,0 +1,83 @@
+package clock
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Render draws the cherry as ASCII art in the spirit of Figure 1: the ring
+// of correct values 0..K−1 laid out on a circle, with the tail of initial
+// values −α..−1 hanging off value 0. It is what `cmd/specbench -experiment
+// e1` and cmd/ssme print to reproduce the figure.
+func (c Clock) Render() string {
+	const (
+		cellW = 4 // horizontal budget per ring slot
+		cellH = 2 // vertical budget per ring slot
+	)
+	k := c.K
+	// Ring radius in character cells; keep the circle readable for the K
+	// values used in the paper's figure (K=12) and for small demos.
+	radius := float64(k) * 0.9
+	if radius < 4 {
+		radius = 4
+	}
+	cx := int(radius * 2)
+	cy := int(radius)
+
+	width := cx*2 + cellW*2
+	height := cy*2 + cellH + 1 + c.Alpha
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y int, s string) {
+		if y < 0 || y >= height {
+			return
+		}
+		for i := 0; i < len(s); i++ {
+			if x+i >= 0 && x+i < width {
+				grid[y][x+i] = s[i]
+			}
+		}
+	}
+
+	// Place ring values counter-clockwise starting with 0 at the bottom of
+	// the circle (where the tail attaches), mirroring Figure 1.
+	var zeroX, zeroY int
+	for v := 0; v < k; v++ {
+		theta := math.Pi/2 + 2*math.Pi*float64(v)/float64(k)
+		x := cx + int(math.Round(radius*1.9*math.Cos(theta)))
+		y := cy - int(math.Round(radius*0.85*math.Sin(theta))) + cy
+		y = y / 2 // squash vertically: terminal cells are ~2:1
+		label := fmt.Sprintf("%d", v)
+		put(x-len(label)/2, y, label)
+		if v == 0 {
+			zeroX, zeroY = x, y
+		}
+	}
+	// Tail −1, −2, …, −α straight down from 0.
+	for i := 1; i <= c.Alpha; i++ {
+		label := fmt.Sprintf("%d", -i)
+		put(zeroX-len(label)/2, zeroY+i, label)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — ring 0..%d (φ cycles), tail -%d..-1 (φ climbs to 0)\n",
+		c, k-1, c.Alpha)
+	for _, row := range grid {
+		line := strings.TrimRight(string(row), " ")
+		if line != "" {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Describe returns a one-line structural summary used in tables:
+// domain size, init/stab split and the reset value.
+func (c Clock) Describe() string {
+	return fmt.Sprintf("%s: |domain|=%d, init=[-%d..0], stab=[0..%d], reset→%d",
+		c, c.Size(), c.Alpha, c.K-1, -c.Alpha)
+}

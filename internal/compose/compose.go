@@ -1,0 +1,200 @@
+// Package compose implements the composition tool the paper's conclusion
+// sketches as future work: running two guarded-command protocols with
+// disjoint variables side by side on the same graph (collateral product).
+//
+// When a vertex is activated it fires the enabled rule of each component
+// (one, the other, or both). Each component's projection of a composite
+// execution is a legal execution of that component, so:
+//
+//   - under the synchronous daemon both components stabilize independently
+//     and conv_time(A×B, sd) ≤ max(conv_time(A, sd), conv_time(B, sd)) —
+//     speculative stabilization composes with the max of the weak-daemon
+//     bounds;
+//   - under weakly fair daemons (round-robin, distributed-p, sd) the same
+//     holds in the respective measures.
+//
+// Honesty note: under the *unfair* distributed daemon the product does NOT
+// automatically self-stabilize — an unfair scheduler can forever activate
+// only vertices where a never-terminating component (e.g. unison) is
+// enabled, starving the other component. This is the classical fair-
+// composition caveat; the package documents it and the tests exhibit both
+// the composing cases and the caveat's boundary.
+package compose
+
+import (
+	"fmt"
+	"math/rand"
+
+	"specstab/internal/sim"
+)
+
+// Pair is the product state: component A's state and component B's state.
+type Pair[A, B comparable] struct {
+	First  A
+	Second B
+}
+
+// Product runs two protocols with disjoint state on the same vertex set.
+// A Product is not safe for concurrent use: guard evaluation reuses
+// internal projection buffers and the rule-pair interning table (give each
+// engine its own Product).
+//
+// Product rules are interned pairs of component rules, so products nest:
+// a Product is itself a sim.Protocol and can be composed again (see the
+// three-way composition test).
+type Product[A, B comparable] struct {
+	a sim.Protocol[A]
+	b sim.Protocol[B]
+
+	bufA sim.Config[A]
+	bufB sim.Config[B]
+
+	// Rule interning: product rule r (≥ 1) stands for component pair
+	// rulePairs[r−1]; ruleIndex inverts it.
+	ruleIndex map[[2]sim.Rule]sim.Rule
+	rulePairs [][2]sim.Rule
+}
+
+// internRule returns the dense product rule for the component pair.
+func (p *Product[A, B]) internRule(ra, rb sim.Rule) sim.Rule {
+	key := [2]sim.Rule{ra, rb}
+	if r, ok := p.ruleIndex[key]; ok {
+		return r
+	}
+	p.rulePairs = append(p.rulePairs, key)
+	r := sim.Rule(len(p.rulePairs))
+	p.ruleIndex[key] = r
+	return r
+}
+
+// DecodeRule splits a product rule into its component rules (either may be
+// sim.NoRule when only one component fires).
+func (p *Product[A, B]) DecodeRule(r sim.Rule) (ra, rb sim.Rule) {
+	if r < 1 || int(r) > len(p.rulePairs) {
+		return sim.NoRule, sim.NoRule
+	}
+	pair := p.rulePairs[r-1]
+	return pair[0], pair[1]
+}
+
+// New builds the product; the components must agree on the vertex count.
+func New[A, B comparable](a sim.Protocol[A], b sim.Protocol[B]) (*Product[A, B], error) {
+	if a.N() != b.N() {
+		return nil, fmt.Errorf("compose: component sizes differ (%d vs %d)", a.N(), b.N())
+	}
+	return &Product[A, B]{a: a, b: b, ruleIndex: make(map[[2]sim.Rule]sim.Rule)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew[A, B comparable](a sim.Protocol[A], b sim.Protocol[B]) *Product[A, B] {
+	p, err := New(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *Product[A, B]) Name() string { return p.a.Name() + " × " + p.b.Name() }
+
+// N implements sim.Protocol.
+func (p *Product[A, B]) N() int { return p.a.N() }
+
+// First returns component A's protocol; Second component B's.
+func (p *Product[A, B]) First() sim.Protocol[A]  { return p.a }
+func (p *Product[A, B]) Second() sim.Protocol[B] { return p.b }
+
+// ProjectA extracts component A's configuration.
+func (p *Product[A, B]) ProjectA(c sim.Config[Pair[A, B]]) sim.Config[A] {
+	out := make(sim.Config[A], len(c))
+	for v := range c {
+		out[v] = c[v].First
+	}
+	return out
+}
+
+// ProjectB extracts component B's configuration.
+func (p *Product[A, B]) ProjectB(c sim.Config[Pair[A, B]]) sim.Config[B] {
+	out := make(sim.Config[B], len(c))
+	for v := range c {
+		out[v] = c[v].Second
+	}
+	return out
+}
+
+// Combine zips two component configurations into a product configuration.
+func Combine[A, B comparable](ca sim.Config[A], cb sim.Config[B]) sim.Config[Pair[A, B]] {
+	out := make(sim.Config[Pair[A, B]], len(ca))
+	for v := range ca {
+		out[v] = Pair[A, B]{First: ca[v], Second: cb[v]}
+	}
+	return out
+}
+
+// projections fills the reused scratch buffers with both component views.
+func (p *Product[A, B]) projections(c sim.Config[Pair[A, B]]) (sim.Config[A], sim.Config[B]) {
+	if cap(p.bufA) < len(c) {
+		p.bufA = make(sim.Config[A], len(c))
+		p.bufB = make(sim.Config[B], len(c))
+	}
+	p.bufA, p.bufB = p.bufA[:len(c)], p.bufB[:len(c)]
+	for v := range c {
+		p.bufA[v] = c[v].First
+		p.bufB[v] = c[v].Second
+	}
+	return p.bufA, p.bufB
+}
+
+// EnabledRule implements sim.Protocol: a vertex is enabled when either
+// component is, and firing executes every enabled component rule.
+func (p *Product[A, B]) EnabledRule(c sim.Config[Pair[A, B]], v int) (sim.Rule, bool) {
+	ca, cb := p.projections(c)
+	ra, okA := p.a.EnabledRule(ca, v)
+	rb, okB := p.b.EnabledRule(cb, v)
+	if !okA && !okB {
+		return sim.NoRule, false
+	}
+	if !okA {
+		ra = sim.NoRule
+	}
+	if !okB {
+		rb = sim.NoRule
+	}
+	return p.internRule(ra, rb), true
+}
+
+// Apply implements sim.Protocol.
+func (p *Product[A, B]) Apply(c sim.Config[Pair[A, B]], v int, r sim.Rule) Pair[A, B] {
+	ra, rb := p.DecodeRule(r)
+	ca, cb := p.projections(c)
+	next := c[v]
+	if ra != sim.NoRule {
+		next.First = p.a.Apply(ca, v, ra)
+	}
+	if rb != sim.NoRule {
+		next.Second = p.b.Apply(cb, v, rb)
+	}
+	return next
+}
+
+// RandomState implements sim.Protocol.
+func (p *Product[A, B]) RandomState(v int, rng *rand.Rand) Pair[A, B] {
+	return Pair[A, B]{First: p.a.RandomState(v, rng), Second: p.b.RandomState(v, rng)}
+}
+
+// RuleName implements sim.Protocol.
+func (p *Product[A, B]) RuleName(r sim.Rule) string {
+	ra, rb := p.DecodeRule(r)
+	switch {
+	case ra != sim.NoRule && rb != sim.NoRule:
+		return p.a.RuleName(ra) + "+" + p.b.RuleName(rb)
+	case ra != sim.NoRule:
+		return p.a.RuleName(ra)
+	case rb != sim.NoRule:
+		return p.b.RuleName(rb)
+	default:
+		return "none"
+	}
+}
+
+var _ sim.Protocol[Pair[int, int]] = (*Product[int, int])(nil)

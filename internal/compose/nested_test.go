@@ -1,0 +1,91 @@
+package compose
+
+import (
+	"math/rand"
+	"testing"
+
+	"specstab/internal/bfstree"
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+	"specstab/internal/unison"
+)
+
+// TestThreeWayComposition nests products: ((BFS × unison) × BFS-from-other-
+// root) — composition is itself a protocol, so it composes again. All
+// three components stabilize under sd.
+func TestThreeWayComposition(t *testing.T) {
+	t.Parallel()
+	g := graph.Grid(3, 3)
+	bfs0 := bfstree.MustNew(g, 0)
+	uni, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs8 := bfstree.MustNew(g, 8)
+
+	inner := MustNew[int, int](bfs0, uni)
+	type innerPair = Pair[int, int]
+	outer := MustNew[innerPair, int](inner, bfs8)
+	type outerPair = Pair[innerPair, int]
+
+	rng := rand.New(rand.NewSource(3))
+	e := sim.MustEngine[outerPair](outer, daemon.NewSynchronous[outerPair](),
+		sim.RandomConfig[outerPair](outer, rng), 1)
+
+	allLegit := func(c sim.Config[outerPair]) bool {
+		innerCfg := outer.ProjectA(c)
+		return bfs0.Correct(inner.ProjectA(innerCfg)) &&
+			uni.Legitimate(inner.ProjectB(innerCfg)) &&
+			bfs8.Correct(outer.ProjectB(c))
+	}
+	horizon := bfs0.SyncHorizon() + uni.SyncHorizon() + bfs8.SyncHorizon()
+	if _, err := e.Run(horizon, allLegit); err != nil {
+		t.Fatal(err)
+	}
+	if !allLegit(e.Current()) {
+		t.Fatal("three-way composition did not stabilize all components")
+	}
+}
+
+// TestCombineProjectRoundTrip: Combine and the projections are inverses.
+func TestCombineProjectRoundTrip(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(5)
+	bfs := bfstree.MustNew(g, 0)
+	uni, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := MustNew[int, int](bfs, uni)
+	ca := sim.Config[int]{0, 1, 2, 3, 4}
+	cb := sim.Config[int]{-5, 0, 3, 3, 2}
+	combined := Combine(ca, cb)
+	if !prod.ProjectA(combined).Equal(ca) || !prod.ProjectB(combined).Equal(cb) {
+		t.Fatal("projection does not invert Combine")
+	}
+}
+
+// TestRuleNameRendering covers the four firing shapes.
+func TestRuleNameRendering(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(4)
+	bfs := bfstree.MustNew(g, 0)
+	uni, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := MustNew[int, int](bfs, uni)
+	if got := prod.RuleName(prod.internRule(1, 2)); got == "" || got == "none" {
+		t.Errorf("both-fire rule renders %q", got)
+	}
+	if got := prod.RuleName(prod.internRule(1, sim.NoRule)); got == "" || got == "none" {
+		t.Errorf("A-only rule renders %q", got)
+	}
+	if got := prod.RuleName(prod.internRule(sim.NoRule, 2)); got == "" || got == "none" {
+		t.Errorf("B-only rule renders %q", got)
+	}
+	if got := prod.RuleName(sim.NoRule); got != "none" {
+		t.Errorf("empty rule renders %q", got)
+	}
+}

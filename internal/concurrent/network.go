@@ -1,0 +1,164 @@
+// Package concurrent deploys a guarded-command protocol as an actual
+// concurrent system: one goroutine per vertex, one mutex-guarded register
+// per vertex, moves executed under a lock of the vertex's closed
+// neighborhood (acquired in global id order, so the system is
+// deadlock-free).
+//
+// Every committed move reads a consistent snapshot of its neighborhood and
+// writes the vertex's own register — exactly an action of the paper's
+// atomic-state model. The serialization of these actions is an execution
+// in which only non-conflicting (non-adjacent) moves overlap, i.e. an
+// execution allowed by the unfair distributed daemon ud; self-stabilization
+// under ud (Theorem 1) therefore applies verbatim to this deployment, and
+// examples/resource uses it to guard a real shared resource with SSME.
+package concurrent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+)
+
+// MoveHook observes a committed move. It is called while v's neighborhood
+// locks are held, immediately before the register write: before/after are
+// v's states around the move. Keep hooks short; they serialize v's
+// neighborhood.
+type MoveHook[S comparable] func(v int, r sim.Rule, before, after S)
+
+// Network is a running deployment of a protocol.
+type Network[S comparable] struct {
+	p     sim.Protocol[S]
+	g     *graph.Graph
+	order [][]int // order[v]: {v} ∪ neig(v) sorted ascending (lock order)
+	locks []sync.Mutex
+	regs  sim.Config[S]
+
+	moves  atomic.Int64
+	onMove MoveHook[S]
+
+	// idleSleep throttles disabled vertices (default 50µs).
+	idleSleep time.Duration
+}
+
+// New builds a network for p on g starting from initial. The protocol's
+// guards must only read the states of the vertex and its g-neighbors (true
+// of every protocol in this repository); onMove may be nil.
+func New[S comparable](p sim.Protocol[S], g *graph.Graph, initial sim.Config[S], onMove MoveHook[S]) (*Network[S], error) {
+	if p.N() != g.N() {
+		return nil, fmt.Errorf("concurrent: protocol has %d vertices, graph %d", p.N(), g.N())
+	}
+	if err := sim.Validate(p, initial); err != nil {
+		return nil, err
+	}
+	order := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		nbhd := append([]int{v}, g.Neighbors(v)...)
+		sort.Ints(nbhd)
+		order[v] = nbhd
+	}
+	return &Network[S]{
+		p:         p,
+		g:         g,
+		order:     order,
+		locks:     make([]sync.Mutex, g.N()),
+		regs:      initial.Clone(),
+		onMove:    onMove,
+		idleSleep: 50 * time.Microsecond,
+	}, nil
+}
+
+// Moves returns the number of committed moves so far.
+func (nw *Network[S]) Moves() int64 { return nw.moves.Load() }
+
+func (nw *Network[S]) lockNeighborhood(v int) {
+	for _, u := range nw.order[v] {
+		nw.locks[u].Lock()
+	}
+}
+
+func (nw *Network[S]) unlockNeighborhood(v int) {
+	for i := len(nw.order[v]) - 1; i >= 0; i-- {
+		nw.locks[nw.order[v][i]].Unlock()
+	}
+}
+
+// tryMove executes at most one move at v and reports whether it fired.
+func (nw *Network[S]) tryMove(v int) bool {
+	nw.lockNeighborhood(v)
+	defer nw.unlockNeighborhood(v)
+	r, ok := nw.p.EnabledRule(nw.regs, v)
+	if !ok {
+		return false
+	}
+	next := nw.p.Apply(nw.regs, v, r)
+	if nw.onMove != nil {
+		nw.onMove(v, r, nw.regs[v], next)
+	}
+	nw.regs[v] = next
+	nw.moves.Add(1)
+	return true
+}
+
+// Run starts one goroutine per vertex and blocks until ctx is cancelled
+// and every goroutine has exited. Each goroutine repeatedly attempts a
+// move, backing off briefly while disabled.
+func (nw *Network[S]) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(nw.g.N())
+	for v := 0; v < nw.g.N(); v++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				if !nw.tryMove(v) {
+					time.Sleep(nw.idleSleep)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Snapshot returns a consistent copy of all registers (all locks taken in
+// ascending order, so it is a real configuration of the execution).
+func (nw *Network[S]) Snapshot() sim.Config[S] {
+	for v := range nw.locks {
+		nw.locks[v].Lock()
+	}
+	out := nw.regs.Clone()
+	for v := len(nw.locks) - 1; v >= 0; v-- {
+		nw.locks[v].Unlock()
+	}
+	return out
+}
+
+// ErrNotStabilized reports that Await gave up before pred held.
+var ErrNotStabilized = errors.New("concurrent: predicate not reached before deadline")
+
+// Await polls Snapshot every poll interval until pred holds, returning the
+// satisfying configuration, or ErrNotStabilized/ctx.Err() on timeout.
+func (nw *Network[S]) Await(ctx context.Context, pred func(sim.Config[S]) bool, poll time.Duration) (sim.Config[S], error) {
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		if c := nw.Snapshot(); pred(c) {
+			return c, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", ErrNotStabilized, ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}

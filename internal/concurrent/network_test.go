@@ -1,0 +1,198 @@
+package concurrent
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specstab/internal/core"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+	"specstab/internal/unison"
+)
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(5)
+	p := core.MustNew(g)
+	if _, err := New[int](p, graph.Ring(6), make(sim.Config[int], 6), nil); err == nil {
+		t.Error("want error for mismatched graph")
+	}
+	if _, err := New[int](p, g, make(sim.Config[int], 3), nil); err == nil {
+		t.Error("want error for short configuration")
+	}
+}
+
+func TestUnisonStabilizesConcurrently(t *testing.T) {
+	t.Parallel()
+	g := graph.Torus(3, 3)
+	u, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	nw, err := New[int](u, g, sim.RandomConfig[int](u, rng), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nw.Run(ctx)
+	}()
+	if _, err := nw.Await(ctx, u.Legitimate, time.Millisecond); err != nil {
+		t.Fatalf("never reached Γ₁: %v", err)
+	}
+	cancel()
+	<-done
+	if nw.Moves() == 0 {
+		t.Error("no moves recorded")
+	}
+}
+
+func TestSSMENoConcurrentCriticalSectionsAfterStabilization(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(8)
+	p := core.MustNew(g)
+	rng := rand.New(rand.NewSource(11))
+
+	var (
+		inCS       atomic.Int32
+		violations atomic.Int32
+		csEntries  atomic.Int64
+		armed      atomic.Bool
+	)
+	hook := func(v int, _ sim.Rule, before, _ int) {
+		if before != p.PrivilegeValue(v) {
+			return
+		}
+		// v executes its critical section during this move. The counter
+		// detects overlap with any other vertex's critical section.
+		if inCS.Add(1) > 1 && armed.Load() {
+			violations.Add(1)
+		}
+		csEntries.Add(1)
+		time.Sleep(10 * time.Microsecond) // simulated critical-section body
+		inCS.Add(-1)
+	}
+
+	nw, err := New[int](p, g, sim.RandomConfig[int](p, rng), hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nw.Run(ctx)
+	}()
+
+	if _, err := nw.Await(ctx, p.Legitimate, time.Millisecond); err != nil {
+		t.Fatalf("never reached Γ₁: %v", err)
+	}
+	// From a legitimate configuration, closure guarantees at most one
+	// privilege exists at any time: arm the violation detector and let the
+	// system serve critical sections for a while.
+	armed.Store(true)
+	base := csEntries.Load()
+	deadline := time.Now().Add(2 * time.Second)
+	for csEntries.Load() < base+20 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	if got := violations.Load(); got != 0 {
+		t.Errorf("%d concurrent critical sections after stabilization", got)
+	}
+	if csEntries.Load() == base {
+		t.Error("no critical sections served after stabilization")
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	t.Parallel()
+	// Snapshots taken while the system runs must always be real
+	// configurations: for unison, register values must stay inside the
+	// cherry domain (a torn read could catch a value mid-write and, with
+	// the race detector, flag the data race).
+	g := graph.Grid(3, 3)
+	u, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	nw, err := New[int](u, g, sim.RandomConfig[int](u, rng), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nw.Run(ctx)
+	}()
+	x := u.Clock()
+	for i := 0; i < 200; i++ {
+		for v, val := range nw.Snapshot() {
+			if !x.Contains(val) {
+				t.Fatalf("snapshot %d: vertex %d holds %d outside %v", i, v, val, x)
+			}
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestAwaitTimesOut(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(5)
+	p := core.MustNew(g)
+	initial, err := p.UniformConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New[int](p, g, initial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do not run the network: an unsatisfiable predicate must time out.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = nw.Await(ctx, func(sim.Config[int]) bool { return false }, time.Millisecond)
+	if err == nil {
+		t.Fatal("Await must fail when the predicate never holds")
+	}
+}
+
+func TestHubContentionOnStar(t *testing.T) {
+	t.Parallel()
+	// Star topologies force every leaf move to contend for the hub's
+	// lock — the worst case for the lock-ordering scheme. The system must
+	// still make progress and stabilize.
+	g := graph.Star(12)
+	p := core.MustNew(g)
+	rng := rand.New(rand.NewSource(77))
+	nw, err := New[int](p, g, sim.RandomConfig[int](p, rng), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nw.Run(ctx)
+	}()
+	if _, err := nw.Await(ctx, p.Legitimate, time.Millisecond); err != nil {
+		t.Fatalf("star deployment never stabilized: %v", err)
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,142 @@
+package concurrent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"specstab/internal/sim"
+)
+
+// RoundNetwork is a concurrent implementation of the *synchronous* daemon:
+// one goroutine per vertex, rounds driven by channel barriers in the
+// classic BSP shape. In each round every vertex concurrently evaluates its
+// guard against the frozen round-start configuration (read phase), then —
+// after a barrier — every enabled vertex commits its new state (write
+// phase). The resulting execution is exactly the sd execution of the
+// protocol: Theorem 2's ⌈diam/2⌉ applies to it verbatim, and the tests
+// cross-check it against the sequential engine step by step.
+//
+// Compare Network (same package): that one realizes unfair interleavings
+// through neighborhood locking; RoundNetwork realizes lock-step synchrony
+// through barriers. Together they cover both ends of the paper's daemon
+// spectrum as real concurrent systems.
+//
+// The protocol's EnabledRule/Apply are invoked from concurrent goroutines
+// against the frozen configuration, so they must be safe for concurrent
+// readers. Every protocol in this repository qualifies except
+// compose.Product, which reuses projection scratch buffers — drive
+// compositions through the sequential engine instead.
+type RoundNetwork[S comparable] struct {
+	p sim.Protocol[S]
+
+	mu    sync.Mutex // guards cfg between rounds (snapshots)
+	cfg   sim.Config[S]
+	round int
+}
+
+// NewRoundNetwork builds the barrier-synchronized deployment.
+func NewRoundNetwork[S comparable](p sim.Protocol[S], initial sim.Config[S]) (*RoundNetwork[S], error) {
+	if err := sim.Validate(p, initial); err != nil {
+		return nil, err
+	}
+	return &RoundNetwork[S]{p: p, cfg: initial.Clone()}, nil
+}
+
+// Round returns the number of completed synchronous rounds.
+func (rn *RoundNetwork[S]) Round() int {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.round
+}
+
+// Snapshot returns the configuration at the last completed round boundary.
+func (rn *RoundNetwork[S]) Snapshot() sim.Config[S] {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.cfg.Clone()
+}
+
+// proposal is one vertex's output of a round's read phase.
+type proposal[S comparable] struct {
+	v     int
+	next  S
+	fired bool
+}
+
+// RunRounds executes exactly rounds synchronous rounds (or fewer if a
+// terminal configuration or ctx cancellation intervenes) and reports how
+// many completed. Each round spawns the vertex goroutines afresh against
+// the frozen configuration and collects their proposals over a channel —
+// the read/compute phase is genuinely parallel; the commit is the barrier.
+func (rn *RoundNetwork[S]) RunRounds(ctx context.Context, rounds int) (int, error) {
+	n := rn.p.N()
+	for r := 0; r < rounds; r++ {
+		select {
+		case <-ctx.Done():
+			return r, ctx.Err()
+		default:
+		}
+		frozen := rn.Snapshot()
+
+		proposals := make(chan proposal[S], n)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for v := 0; v < n; v++ {
+			go func() {
+				defer wg.Done()
+				rule, ok := rn.p.EnabledRule(frozen, v)
+				if !ok {
+					proposals <- proposal[S]{v: v}
+					return
+				}
+				proposals <- proposal[S]{v: v, next: rn.p.Apply(frozen, v, rule), fired: true}
+			}()
+		}
+		wg.Wait()
+		close(proposals)
+
+		fired := 0
+		next := frozen.Clone()
+		for prop := range proposals {
+			if prop.fired {
+				next[prop.v] = prop.next
+				fired++
+			}
+		}
+		if fired == 0 {
+			return r, nil // terminal configuration
+		}
+		rn.mu.Lock()
+		rn.cfg = next
+		rn.round++
+		rn.mu.Unlock()
+	}
+	return rounds, nil
+}
+
+// RunUntil executes rounds until pred holds for a round boundary
+// configuration, up to maxRounds; it returns the satisfying configuration.
+func (rn *RoundNetwork[S]) RunUntil(ctx context.Context, pred func(sim.Config[S]) bool, maxRounds int) (sim.Config[S], error) {
+	for r := 0; r < maxRounds; r++ {
+		if c := rn.Snapshot(); pred(c) {
+			return c, nil
+		}
+		done, err := rn.RunRounds(ctx, 1)
+		if err != nil {
+			return nil, err
+		}
+		if done == 0 {
+			c := rn.Snapshot()
+			if pred(c) {
+				return c, nil
+			}
+			return nil, fmt.Errorf("concurrent: terminal configuration before predicate held")
+		}
+	}
+	c := rn.Snapshot()
+	if pred(c) {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: %d rounds exhausted", ErrNotStabilized, maxRounds)
+}

@@ -1,0 +1,122 @@
+package concurrent
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"specstab/internal/core"
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+)
+
+func TestRoundNetworkMatchesSequentialEngineExactly(t *testing.T) {
+	t.Parallel()
+	// The barrier runtime must reproduce the sequential synchronous
+	// execution configuration for configuration — same deterministic sd
+	// semantics, different machinery.
+	g := graph.Grid(3, 4)
+	p := core.MustNew(g)
+	rng := rand.New(rand.NewSource(8))
+	initial := sim.RandomConfig[int](p, rng)
+
+	seq := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+	rn, err := NewRoundNetwork[int](p, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for r := 1; r <= 40; r++ {
+		if _, err := seq.Step(); err != nil {
+			t.Fatal(err)
+		}
+		done, err := rn.RunRounds(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != 1 {
+			t.Fatalf("round %d: concurrent runtime stopped early", r)
+		}
+		if !rn.Snapshot().Equal(seq.Snapshot()) {
+			t.Fatalf("round %d: concurrent and sequential configurations diverge:\n%v\n%v",
+				r, rn.Snapshot(), seq.Snapshot())
+		}
+	}
+}
+
+func TestRoundNetworkStabilizesWithinTheorem2(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(10)
+	p := core.MustNew(g)
+	worst, err := p.WorstSyncConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := NewRoundNetwork[int](p, worst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// After ⌈diam/2⌉ rounds there must never again be two privileges.
+	bound := core.SyncBound(g)
+	if _, err := rn.RunRounds(ctx, bound); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3*p.Clock().K; r++ {
+		if p.PrivilegedCount(rn.Snapshot()) > 1 {
+			t.Fatalf("double privilege %d rounds after the Theorem 2 bound", r)
+		}
+		if _, err := rn.RunRounds(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundNetworkRunUntil(t *testing.T) {
+	t.Parallel()
+	g := graph.Torus(3, 3)
+	p := core.MustNew(g)
+	rng := rand.New(rand.NewSource(12))
+	rn, err := NewRoundNetwork[int](p, sim.RandomConfig[int](p, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOut, err := rn.RunUntil(context.Background(), p.Legitimate, p.SyncUnisonHorizon()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Legitimate(cfgOut) {
+		t.Fatal("RunUntil returned a non-legitimate configuration")
+	}
+	if rn.Round() > p.SyncUnisonHorizon() {
+		t.Errorf("took %d rounds, beyond the 2n+diam unison bound %d", rn.Round(), p.SyncUnisonHorizon())
+	}
+}
+
+func TestRoundNetworkContextCancellation(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(6)
+	p := core.MustNew(g)
+	initial, err := p.UniformConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := NewRoundNetwork[int](p, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rn.RunRounds(ctx, 10); err == nil {
+		t.Fatal("cancelled context must abort the run")
+	}
+}
+
+func TestRoundNetworkValidation(t *testing.T) {
+	t.Parallel()
+	p := core.MustNew(graph.Ring(5))
+	if _, err := NewRoundNetwork[int](p, make(sim.Config[int], 3)); err == nil {
+		t.Fatal("want validation error for short configuration")
+	}
+}

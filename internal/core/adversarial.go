@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"specstab/internal/sim"
+)
+
+// Adversarial initial configurations: the constructive side of Theorems 2
+// and 4. The "island" configuration below makes two antipodal vertices u, v
+// privileged simultaneously at synchronous step t, for any
+// t ≤ ⌊(diam−1)/2⌋, so the measured synchronous stabilization time of SSME
+// is exactly ⌈diam/2⌉: Theorem 2's upper bound is attained, and the
+// protocol sits on Theorem 4's universal lower bound.
+//
+// Construction (mirrors the island machinery of Definitions 5–6 and Lemmas
+// 1–3): pick u, v with dist(u,v) = diam and disjoint balls
+// B(u, Ru), B(v, Rv) with Ru + Rv < diam. Give every vertex of B(u, Ru) the
+// clock value priv(u) − t and every vertex of B(v, Rv) the value
+// priv(v) − t; set everything else to the reset value −α.
+//
+//   - Inside each island all values are equal, so every non-border vertex
+//     fires NA at every synchronous step: the centers' clocks reach their
+//     privilege values exactly at step t.
+//   - Island borders see incomparable values (the two privilege values are
+//     more than diam apart on the ring, and −α is not even a correct
+//     value), so they fire RA; the reset wave erodes one layer per step —
+//     the depth argument of Lemma 3 — and reaches a center only after
+//     min(Ru, Rv) ≥ t steps.
+//   - Outside vertices hold −α: CA needs all neighbors in initX, which
+//     fails next to an island, so they idle harmlessly.
+
+// MaxDoublePrivilegeStep returns ⌊(diam−1)/2⌋, the largest t for which
+// DoublePrivilegeConfig can schedule a simultaneous double privilege at
+// synchronous step t. It is −1 when the graph has a single vertex (no two
+// vertices to conflict).
+func (p *Protocol) MaxDoublePrivilegeStep() int {
+	if p.g.N() < 2 {
+		return -1
+	}
+	return (p.g.Diameter() - 1) / 2
+}
+
+// DoublePrivilegeConfig returns an initial configuration whose synchronous
+// execution has (at least) two privileged vertices in configuration γ_t.
+// Valid t range is 0 … MaxDoublePrivilegeStep().
+func (p *Protocol) DoublePrivilegeConfig(t int) (sim.Config[int], error) {
+	if p.g.N() < 2 {
+		return nil, fmt.Errorf("core: double privilege impossible on a single vertex")
+	}
+	maxT := p.MaxDoublePrivilegeStep()
+	if t < 0 || t > maxT {
+		return nil, fmt.Errorf("core: step %d outside island budget [0,%d] on %s", t, maxT, p.g.Name())
+	}
+	u, v := p.g.Peripheral()
+	d := p.g.Diameter()
+
+	// Split the island radii so that ru + rv = diam − 1 (< diam keeps the
+	// balls disjoint) and both are at least t.
+	ru := (d - 1 + 1) / 2 // ⌈(d−1)/2⌉
+	rv := (d - 1) / 2     // ⌊(d−1)/2⌋
+	if ru < t || rv < t {
+		return nil, fmt.Errorf("core: internal: island radii (%d,%d) below t=%d", ru, rv, t)
+	}
+
+	cfg := make(sim.Config[int], p.g.N())
+	for w := range cfg {
+		cfg[w] = p.x.Reset()
+	}
+	for _, w := range p.g.Ball(u, ru) {
+		cfg[w] = p.PrivilegeValue(u) - t
+	}
+	for _, w := range p.g.Ball(v, rv) {
+		cfg[w] = p.PrivilegeValue(v) - t
+	}
+	// Privilege values satisfy priv ≥ 2n > diam ≥ t, so the island values
+	// stay inside stabX; assert rather than assume.
+	if !p.x.InStab(cfg[u]) || !p.x.InStab(cfg[v]) {
+		return nil, fmt.Errorf("core: internal: island value left stabX")
+	}
+	return cfg, nil
+}
+
+// WorstSyncConfig returns the island configuration achieving the latest
+// possible double privilege, at synchronous step ⌊(diam−1)/2⌋; the
+// synchronous execution from it stabilizes in exactly ⌈diam/2⌉ steps —
+// SSME's optimum.
+func (p *Protocol) WorstSyncConfig() (sim.Config[int], error) {
+	t := p.MaxDoublePrivilegeStep()
+	if t < 0 {
+		return nil, fmt.Errorf("core: no adversarial configuration on a single vertex")
+	}
+	return p.DoublePrivilegeConfig(t)
+}
+
+// UniformConfig returns the configuration in which every register holds
+// value x — legitimate whenever x ∈ stabX, and the natural "clean start".
+func (p *Protocol) UniformConfig(x int) (sim.Config[int], error) {
+	if err := p.x.Validate(x); err != nil {
+		return nil, err
+	}
+	cfg := make(sim.Config[int], p.g.N())
+	for v := range cfg {
+		cfg[v] = x
+	}
+	return cfg, nil
+}

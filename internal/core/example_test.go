@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"specstab/internal/core"
+	"specstab/internal/graph"
+)
+
+// SSME's parameters on a 12-ring: the paper's clock and privilege layout.
+func Example() {
+	g := graph.Ring(12)
+	p := core.MustNew(g)
+	fmt.Println("clock:", p.Clock())
+	fmt.Println("privilege of id 0:", p.PrivilegeValue(0))
+	fmt.Println("privilege of id 1:", p.PrivilegeValue(1))
+	fmt.Println("sync bound:", core.SyncBound(g), "steps")
+	// Output:
+	// clock: cherry(12,163)
+	// privilege of id 0: 24
+	// privilege of id 1: 36
+	// sync bound: 3 steps
+}
+
+// The worst-case island configuration stabilizes in exactly ⌈diam/2⌉
+// synchronous steps — Theorem 2's bound, attained (Theorem 4).
+func ExampleProtocol_WorstSyncConfig() {
+	p := core.MustNew(graph.Path(9))
+	initial, err := p.WorstSyncConfig()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := p.MeasureSync(initial)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("stabilized in %d steps (diam %d)\n", rep.ConvergenceSteps, 8)
+	// Output: stabilized in 4 steps (diam 8)
+}
+
+// Theory bounds as plain functions.
+func ExampleSyncBound() {
+	fmt.Println(core.SyncBound(graph.Path(16)))    // diam 15
+	fmt.Println(core.SyncBound(graph.Torus(4, 4))) // diam 4
+	fmt.Println(core.SyncBound(graph.Complete(9))) // diam 1
+	// Output:
+	// 8
+	// 2
+	// 1
+}

@@ -1,0 +1,156 @@
+package core
+
+import "specstab/internal/sim"
+
+// The island machinery of Section 4.3 (Definitions 5 and 6), mechanized.
+// Islands are the combinatorial objects the synchronous analysis runs on:
+// in a configuration γ, an island is a maximal set I ⊊ V of vertices whose
+// internal edges are all "correct" (both clocks in stabX with drift ≤ 1).
+// A zero-island contains a vertex with clock value 0; reset waves erode
+// non-zero-islands one border layer per synchronous step (Lemma 3), which
+// is exactly why a privilege can only survive as deep inside an island as
+// the configuration's history allows — and why ⌈diam/2⌉ is the bound.
+
+// Island is a maximal correctly-connected vertex set of one configuration.
+type Island struct {
+	// Vertices in increasing order.
+	Vertices []int
+	// Border is the subset with a neighbor outside the island (Def. 6).
+	Border []int
+	// Depth is max over members of min distance to the border (Def. 6);
+	// 0 when the island is all border, and the island's own eccentricity
+	// structure when V has no outside vertex adjacent to it.
+	Depth int
+	// Zero reports whether some member's clock value is 0 (a zero-island).
+	Zero bool
+}
+
+// Contains reports whether v belongs to the island.
+func (i Island) Contains(v int) bool {
+	for _, u := range i.Vertices {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Islands returns the islands of c, following Definition 5: maximal
+// proper subsets I ⊊ V with every internal edge correct. Vertices whose
+// clock value is outside stabX belong to no island. When the whole vertex
+// set is correctly connected the configuration is in Γ₁ and — because an
+// island must be a proper subset — there are no islands; Islands returns
+// nil in that case.
+func (p *Protocol) Islands(c sim.Config[int]) []Island {
+	n := p.g.N()
+	x := p.x
+	// Union components of the "correct edge" graph over stabX vertices.
+	comp := make([]int, n)
+	for v := range comp {
+		comp[v] = -1
+	}
+	var islands []Island
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 || !x.InStab(c[v]) {
+			continue
+		}
+		id := len(islands)
+		members := []int{}
+		queue := []int{v}
+		comp[v] = id
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			members = append(members, u)
+			for _, w := range p.g.Neighbors(u) {
+				if comp[w] >= 0 || !x.InStab(c[w]) {
+					continue
+				}
+				if x.DK(c[u], c[w]) <= 1 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		islands = append(islands, Island{Vertices: sortedCopy(members)})
+	}
+	if len(islands) == 1 && len(islands[0].Vertices) == n {
+		return nil // Γ₁: the "island" is not a proper subset.
+	}
+	for i := range islands {
+		p.fillIslandMetrics(c, &islands[i])
+	}
+	return islands
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func (p *Protocol) fillIslandMetrics(c sim.Config[int], isl *Island) {
+	member := make(map[int]bool, len(isl.Vertices))
+	for _, v := range isl.Vertices {
+		member[v] = true
+		if c[v] == 0 {
+			isl.Zero = true
+		}
+	}
+	for _, v := range isl.Vertices {
+		for _, u := range p.g.Neighbors(v) {
+			if !member[u] {
+				isl.Border = append(isl.Border, v)
+				break
+			}
+		}
+	}
+	// Depth: BFS from the border within the island (Definition 6 measures
+	// distances in g; inside an island the induced paths realize them for
+	// the ball-shaped islands the analysis uses, and the BFS-in-island
+	// distance is a safe upper bound in general).
+	dist := make(map[int]int, len(isl.Vertices))
+	queue := make([]int, 0, len(isl.Border))
+	for _, b := range isl.Border {
+		dist[b] = 0
+		queue = append(queue, b)
+	}
+	if len(queue) == 0 {
+		// No border (cannot happen for a proper subset of a connected
+		// graph, but keep the degenerate case defined).
+		isl.Depth = 0
+		return
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range p.g.Neighbors(u) {
+			if !member[w] {
+				continue
+			}
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for _, d := range dist {
+		if d > isl.Depth {
+			isl.Depth = d
+		}
+	}
+}
+
+// IslandOf returns the island containing v, if any.
+func (p *Protocol) IslandOf(c sim.Config[int], v int) (Island, bool) {
+	for _, isl := range p.Islands(c) {
+		if isl.Contains(v) {
+			return isl, true
+		}
+	}
+	return Island{}, false
+}

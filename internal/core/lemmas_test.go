@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+	"specstab/internal/unison"
+)
+
+// Property tests mechanizing the per-lemma structure of Section 4.3.
+
+// TestLemma1PrivilegedVertexOnlyFiredNA: if v is privileged at synchronous
+// step i < diam(g), then v executed neither CA nor RA in the prefix.
+func TestLemma1PrivilegedVertexOnlyFiredNA(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(12)
+	p := MustNew(g)
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(21))}
+	prop := func(seed int64, useIsland bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var initial sim.Config[int]
+		if useIsland {
+			maxT := p.MaxDoublePrivilegeStep()
+			tt := int(seed % int64(maxT+1))
+			if tt < 0 {
+				tt += maxT + 1
+			}
+			var err error
+			initial, err = p.DoublePrivilegeConfig(tt)
+			if err != nil {
+				return false
+			}
+		} else {
+			initial = sim.RandomConfig[int](p, rng)
+		}
+		e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+		// firedNonNA[v] = v executed CA or RA at some step ≤ current.
+		firedNonNA := make([]bool, g.N())
+		e.SetHook(func(info sim.StepInfo) {
+			for j, v := range info.Activated {
+				if info.Rules[j] != unison.RuleNA {
+					firedNonNA[v] = true
+				}
+			}
+		})
+		for i := 1; i < g.Diameter(); i++ {
+			if _, err := e.Step(); err != nil {
+				return false
+			}
+			for _, v := range p.PrivilegedSet(e.Current()) {
+				if firedNonNA[v] {
+					return false // contradicts Lemma 1
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma4RegisterRangeAfterDiamSteps: if γ₀ ∉ Γ₁, after diam(g)
+// synchronous steps every register lies in
+// initX ∪ {(2n−2)(diam+1)+3, …, 0, …, 2·diam−1} (the wrap segment around
+// zero of width ~3·diam plus the tail).
+func TestLemma4RegisterRangeAfterDiamSteps(t *testing.T) {
+	t.Parallel()
+	for _, g := range []*graph.Graph{graph.Ring(10), graph.Path(9), graph.Grid(3, 4)} {
+		p := MustNew(g)
+		n, d := g.N(), g.Diameter()
+		x := p.Clock()
+		inLemmaRange := func(r int) bool {
+			if x.InInit(r) {
+				return true
+			}
+			lo := (2*n-2)*(d+1) + 3 // wrap segment start (below K)
+			return r >= lo && r < x.K || r >= 0 && r <= 2*d-1
+		}
+		rng := rand.New(rand.NewSource(31))
+		for trial := 0; trial < 60; trial++ {
+			initial := sim.RandomConfig[int](p, rng)
+			if p.Legitimate(initial) {
+				continue // Lemma 4 assumes γ₀ ∉ Γ₁
+			}
+			e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+			for i := 0; i < d; i++ {
+				if _, err := e.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for v, r := range e.Current() {
+				if !inLemmaRange(r) {
+					t.Fatalf("%s trial %d: r_%d = %d outside the Lemma 4 range after diam steps",
+						g.Name(), trial, v, r)
+				}
+			}
+		}
+	}
+}
+
+// TestServiceOrderIsRoundRobinByID: once legitimate, SSME serves critical
+// sections in perfect cyclically-increasing identity order — the bounded-
+// waiting corollary of the privilege layout.
+func TestServiceOrderIsRoundRobinByID(t *testing.T) {
+	t.Parallel()
+	for _, g := range []*graph.Graph{graph.Ring(6), graph.Star(6), graph.Grid(2, 3)} {
+		p := MustNew(g)
+		initial, err := p.UniformConfig(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+		order, err := p.ServiceOrder(e, 3*p.ServiceWindow())
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if len(order) < 2*g.N() {
+			t.Fatalf("%s: only %d services in three windows", g.Name(), len(order))
+		}
+		if v := RoundRobinViolations(order, g.N()); v != 0 {
+			t.Errorf("%s: %d round-robin violations in service order %v", g.Name(), v, order)
+		}
+		if order[0] != 0 {
+			t.Errorf("%s: from the uniform-0 start the first served id should be 0, got %d",
+				g.Name(), order[0])
+		}
+	}
+}
+
+// TestServiceOrderUnderCentralDaemon: round-robin service holds under any
+// daemon once legitimate, not just sd (closure keeps the clock layout).
+func TestServiceOrderUnderCentralDaemon(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(5)
+	p := MustNew(g)
+	initial, err := p.UniformConfig(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.MustEngine[int](p, daemon.NewRandomCentral[int](), initial, 3)
+	order, err := p.ServiceOrder(e, 12*p.ServiceWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < g.N() {
+		t.Fatalf("too few services: %v", order)
+	}
+	if v := RoundRobinViolations(order, g.N()); v != 0 {
+		t.Errorf("%d violations in %v", v, order)
+	}
+}
+
+func TestRoundRobinViolationsCounts(t *testing.T) {
+	t.Parallel()
+	if RoundRobinViolations([]int{0, 1, 2, 0, 1}, 3) != 0 {
+		t.Error("perfect rotation flagged")
+	}
+	if RoundRobinViolations([]int{0, 2, 1}, 3) != 2 {
+		t.Error("skip and regress not both flagged")
+	}
+	if RoundRobinViolations([]int{1}, 3) != 0 {
+		t.Error("singleton order cannot violate")
+	}
+}

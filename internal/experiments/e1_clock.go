@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"specstab/internal/clock"
+	"specstab/internal/core"
+	"specstab/internal/stats"
+)
+
+// E1Clock reproduces Figure 1: the bounded clock cherry(α, K) with α = 5,
+// K = 12, rendered structurally, plus the clock parameters SSME derives for
+// representative topologies (the paper's instantiation α = n,
+// K = (2n−1)(diam+1)+2 and the privilege values it spreads on the ring).
+func E1Clock(cfg RunConfig) ([]*stats.Table, error) {
+	fig := clock.MustNew(5, 12)
+
+	structure := stats.NewTable(
+		"E1a — Figure 1: cherry(5,12)",
+		"property", "value",
+	)
+	structure.AddRow("domain", fig.Describe())
+	structure.AddRow("φ(-5)…φ(-1)", "-4 -3 -2 -1 0 (tail climbs to 0)")
+	structure.AddRow("φ(11)", fig.Phi(11))
+	structure.AddRow("d_K(11,0)", fig.DK(11, 0))
+	structure.AddRow("d_K(6,0)", fig.DK(6, 0))
+	structure.AddRow("0 ≤_l 1", fig.LeqL(0, 1))
+	structure.AddRow("1 ≤_l 0", fig.LeqL(1, 0))
+	structure.AddRow("11 ≤_l 0 (wrap)", fig.LeqL(11, 0))
+	structure.AddNote("rendering:\n%s", fig.Render())
+
+	params := stats.NewTable(
+		"E1b — SSME clock parameters per topology (α=n, K=(2n−1)(diam+1)+2)",
+		"graph", "n", "diam", "α", "K", "priv(0)", "priv(n−1)", "min privilege gap",
+	)
+	for _, g := range zoo(cfg) {
+		p, err := core.New(g)
+		if err != nil {
+			return nil, err
+		}
+		x := p.Clock()
+		minGap := x.K
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if d := x.DK(p.PrivilegeValue(u), p.PrivilegeValue(v)); d < minGap {
+					minGap = d
+				}
+			}
+		}
+		params.AddRow(g.Name(), g.N(), g.Diameter(), x.Alpha, x.K,
+			p.PrivilegeValue(0), p.PrivilegeValue(g.N()-1), minGap)
+	}
+	params.AddNote("safety inside Γ₁ needs every privilege gap > diam; the paper's spacing gives ≥ 2·diam")
+
+	return []*stats.Table{structure, params}, nil
+}

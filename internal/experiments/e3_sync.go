@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"specstab/internal/core"
+	"specstab/internal/sim"
+	"specstab/internal/stats"
+)
+
+// E3SyncConvergence reproduces Theorem 2: under the synchronous daemon,
+// SSME stabilizes within ⌈diam(g)/2⌉ steps from any configuration. The
+// worst case is taken over random arbitrary configurations plus the
+// adversarial island configurations of Theorem 4's construction; the bound
+// is met on every topology and attained exactly by the islands (E5 digs
+// into the attainment).
+func E3SyncConvergence(cfg RunConfig) ([]*stats.Table, error) {
+	trials := cfg.pick(15, 80)
+	table := stats.NewTable(
+		"E3 — Theorem 2: synchronous stabilization of SSME (worst over trials)",
+		"graph", "n", "diam", "bound ⌈diam/2⌉", "worst random", "worst island", "within bound", "Γ₁ ≤ 2n+diam",
+	)
+	for _, g := range zoo(cfg) {
+		p, err := core.New(g)
+		if err != nil {
+			return nil, err
+		}
+		bound := core.SyncBound(g)
+		rng := cfg.rng(int64(2 * g.N()))
+
+		worstRandom, worstLegitEntry := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			rep, err := p.MeasureSync(sim.RandomConfig[int](p, rng))
+			if err != nil {
+				return nil, err
+			}
+			if rep.ConvergenceSteps > worstRandom {
+				worstRandom = rep.ConvergenceSteps
+			}
+			if rep.FirstLegitStep > worstLegitEntry {
+				worstLegitEntry = rep.FirstLegitStep
+			}
+		}
+
+		worstIsland := 0
+		for t := 0; t <= p.MaxDoublePrivilegeStep(); t++ {
+			initial, err := p.DoublePrivilegeConfig(t)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := p.MeasureSync(initial)
+			if err != nil {
+				return nil, err
+			}
+			if rep.ConvergenceSteps > worstIsland {
+				worstIsland = rep.ConvergenceSteps
+			}
+		}
+
+		table.AddRow(g.Name(), g.N(), g.Diameter(), bound, worstRandom, worstIsland,
+			ok(worstRandom <= bound && worstIsland <= bound),
+			ok(worstLegitEntry <= p.SyncUnisonHorizon()))
+	}
+	table.AddNote("contrast: Dijkstra's ring needs n synchronous steps; SSME needs ⌈diam/2⌉ on any topology")
+	return []*stats.Table{table}, nil
+}

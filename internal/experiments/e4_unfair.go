@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"specstab/internal/core"
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+	"specstab/internal/stats"
+)
+
+// E4UnfairConvergence reproduces Theorem 3: SSME reaches Γ₁ within
+// O(diam(g)·n³) moves under the unfair distributed daemon — concretely
+// within 2·diam·n³ + (n+1)·n² + (n−2·diam)·n moves (the Devismes–Petit
+// bound with α = n). The harness measures the worst moves-to-Γ₁ over
+// adversarial and randomized ud-subsumed daemons on a ring size sweep and
+// reports the bound headroom plus the fitted growth exponent.
+func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
+	sizes := []int{6, 9, 12}
+	if !cfg.Quick {
+		sizes = []int{6, 9, 12, 16, 20, 24}
+	}
+	trials := cfg.pick(3, 6)
+
+	table := stats.NewTable(
+		"E4 — Theorem 3: moves to Γ₁ under unfair daemons (rings, worst over daemons×trials)",
+		"n", "diam", "worst moves", "bound 2Dn³+(n+1)n²+(n−2D)n", "headroom ×", "closure",
+	)
+	var xs, ys []float64
+	for _, n := range sizes {
+		g := graph.Ring(n)
+		p, err := core.New(g)
+		if err != nil {
+			return nil, err
+		}
+		bound := p.UnfairBoundMoves()
+		worst := 0
+		closureOK := true
+		rng := cfg.rng(int64(3 * n))
+		daemons := []sim.Daemon[int]{
+			daemon.NewRandomCentral[int](),
+			daemon.NewMinIDCentral[int](),
+			daemon.NewDistributed[int](0.3),
+			daemon.NewGreedyCentral[int](p, p.DisorderPotential),
+			daemon.NewLookahead[int](p, p.DisorderPotential, 3),
+		}
+		for _, d := range daemons {
+			for trial := 0; trial < trials; trial++ {
+				e, err := sim.NewEngine[int](p, d, sim.RandomConfig[int](p, rng), int64(trial+1))
+				if err != nil {
+					return nil, err
+				}
+				out, err := measureRun(e, bound, p.Clock().K, p.SafeME, p.Legitimate)
+				if err != nil {
+					return nil, err
+				}
+				if !out.legitReached {
+					table.AddNote("n=%d under %s: Γ₁ not reached within the Theorem 3 bound — VIOLATION", n, d.Name())
+					closureOK = false
+					continue
+				}
+				closureOK = closureOK && out.closureOK
+				if out.legitMoves > worst {
+					worst = out.legitMoves
+				}
+			}
+		}
+		headroom := float64(bound) / float64(maxInt(worst, 1))
+		table.AddRow(n, g.Diameter(), worst, bound, headroom, ok(closureOK))
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(maxInt(worst, 1)))
+	}
+	if fit, err := stats.FitPower(xs, ys); err == nil {
+		table.AddNote("measured worst-move growth ≈ n^%.2f (R²=%.3f); the bound grows as n⁴ on rings (diam=n/2) — measured stays well inside O(diam·n³)",
+			fit.Exponent, fit.R2)
+	}
+	return []*stats.Table{table}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

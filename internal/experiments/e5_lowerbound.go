@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strconv"
+
+	"specstab/internal/core"
+	"specstab/internal/daemon"
+	"specstab/internal/sim"
+	"specstab/internal/stats"
+)
+
+// E5LowerBound reproduces Theorem 4 constructively: no deterministic
+// self-stabilizing mutual-exclusion protocol can beat ⌈diam/2⌉ synchronous
+// steps, and SSME attains exactly that. The experiment realizes the
+// indistinguishability argument as the two-island configuration of
+// internal/core: for every t up to ⌊(diam−1)/2⌋ the islands keep two
+// antipodal vertices simultaneously privileged at synchronous step t, so
+// the measured stabilization time equals the Theorem 2 upper bound — SSME
+// is optimal, closing the 40-year gap below Dijkstra's n.
+func E5LowerBound(cfg RunConfig) ([]*stats.Table, error) {
+	table := stats.NewTable(
+		"E5 — Theorem 4: the ⌈diam/2⌉ lower bound is attained by SSME islands",
+		"graph", "diam", "bound ⌈diam/2⌉", "island steps t with double privilege", "measured conv", "attained",
+	)
+	for _, g := range zoo(cfg) {
+		if g.N() < 2 {
+			continue
+		}
+		p, err := core.New(g)
+		if err != nil {
+			return nil, err
+		}
+		// Verify the double privilege really occurs at each scheduled t.
+		verified := 0
+		for t := 0; t <= p.MaxDoublePrivilegeStep(); t++ {
+			initial, err := p.DoublePrivilegeConfig(t)
+			if err != nil {
+				return nil, err
+			}
+			e, err := sim.NewEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+			if err != nil {
+				return nil, err
+			}
+			for s := 0; s < t; s++ {
+				if _, err := e.Step(); err != nil {
+					return nil, err
+				}
+			}
+			if p.PrivilegedCount(e.Current()) >= 2 {
+				verified++
+			}
+		}
+
+		worst, err := p.WorstSyncConfig()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := p.MeasureSync(worst)
+		if err != nil {
+			return nil, err
+		}
+		bound := core.SyncBound(g)
+		table.AddRow(g.Name(), g.Diameter(), bound,
+			rangeLabel(verified, p.MaxDoublePrivilegeStep()),
+			rep.ConvergenceSteps, ok(rep.ConvergenceSteps == bound))
+	}
+	table.AddNote("attained=ok: measured synchronous stabilization equals the universal lower bound — optimality")
+	return []*stats.Table{table}, nil
+}
+
+func rangeLabel(verified, maxT int) string {
+	label := "t=0"
+	if maxT > 0 {
+		label = "t=0.." + strconv.Itoa(maxT)
+	}
+	if verified != maxT+1 {
+		label += " (INCOMPLETE)"
+	}
+	return label
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs the whole harness in quick mode and asserts
+// that no table reports a violated check — this is the repository's
+// end-to-end reproduction gate.
+func TestAllExperimentsQuick(t *testing.T) {
+	t.Parallel()
+	for _, exp := range Registry() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := exp.Run(RunConfig{Quick: true, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			for _, tb := range tables {
+				text := tb.String()
+				if strings.Contains(text, "VIOLATED") || strings.Contains(text, "INCOMPLETE") {
+					t.Errorf("%s reports a violation:\n%s", exp.ID, text)
+				}
+				if len(tb.Rows) == 0 && exp.ID != "e1" {
+					t.Errorf("%s produced an empty table %q", exp.ID, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	t.Parallel()
+	if _, err := ByID("e3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+// TestDeterminism: same seed, same tables.
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func() string {
+		tables, err := E3SyncConvergence(RunConfig{Quick: true, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tb := range tables {
+			b.WriteString(tb.String())
+		}
+		return b.String()
+	}
+	if run() != run() {
+		t.Error("E3 is not deterministic for a fixed seed")
+	}
+}
+
+func TestRegistryIDsUniqueAndOrdered(t *testing.T) {
+	t.Parallel()
+	seen := map[string]bool{}
+	for _, exp := range Registry() {
+		if seen[exp.ID] {
+			t.Errorf("duplicate experiment id %q", exp.ID)
+		}
+		seen[exp.ID] = true
+		if exp.Title == "" || exp.Run == nil {
+			t.Errorf("experiment %q incomplete", exp.ID)
+		}
+	}
+	if len(seen) != 11 {
+		t.Errorf("registry has %d experiments, want 11 (E1–E11)", len(seen))
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"specstab/internal/sim"
+)
+
+// runOutcome is the per-execution measurement shared by the experiments:
+// convergence is scored by the last safety violation, legitimacy entry by
+// first membership in the protocol's legitimacy set, and closure by the
+// absence of violations from that point on. Unlike sim.MeasureConvergence,
+// the run stops a fixed tail after legitimacy instead of exhausting the
+// horizon — closure (verified exhaustively by internal/check and
+// guaranteed by Theorem 1) makes the tail a confirmation, not a search.
+type runOutcome struct {
+	legitReached bool
+	legitSteps   int
+	legitMoves   int
+	convSteps    int
+	convMoves    int
+	closureOK    bool
+}
+
+// measureRun drives e until the legitimacy predicate holds (at most
+// horizon steps), then tail further steps, scoring safety throughout.
+func measureRun[S comparable](
+	e *sim.Engine[S],
+	horizon, tail int,
+	safe, legit func(sim.Config[S]) bool,
+) (runOutcome, error) {
+	out := runOutcome{closureOK: true}
+	lastViolation := -1
+	legitAt := -1
+
+	inspect := func(step int) {
+		c := e.Current()
+		if legitAt < 0 && legit(c) {
+			legitAt = step
+			out.legitReached = true
+			out.legitSteps = step
+			out.legitMoves = e.Moves()
+		}
+		if !safe(c) {
+			lastViolation = step
+			out.convMoves = e.Moves()
+			if legitAt >= 0 {
+				out.closureOK = false
+			}
+		}
+	}
+
+	inspect(0)
+	step := 0
+	for {
+		if legitAt >= 0 {
+			if step >= legitAt+tail {
+				break
+			}
+		} else if step >= horizon {
+			break
+		}
+		progressed, err := e.Step()
+		if err != nil {
+			return out, err
+		}
+		if !progressed {
+			break
+		}
+		step++
+		inspect(step)
+	}
+	out.convSteps = lastViolation + 1
+	return out, nil
+}

@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. Labels may be nil; when
+// present they annotate vertices (cmd/ssme uses them to show clock values).
+func (g *Graph) DOT(labels map[int]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.name)
+	for v := 0; v < g.N(); v++ {
+		if lbl, ok := labels[v]; ok {
+			fmt.Fprintf(&b, "  %d [label=%q];\n", v, fmt.Sprintf("%d: %s", v, lbl))
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -- %d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"specstab/internal/graph"
+)
+
+// Topology constants drive every protocol parameter in this repository.
+func Example() {
+	g := graph.Ring(8)
+	fmt.Println(g)
+	fmt.Println("dist(0,5) =", g.Dist(0, 5))
+	hole, _ := g.Hole()
+	fmt.Println("hole =", hole)
+	// Output:
+	// ring-8 (n=8 m=8 diam=4)
+	// dist(0,5) = 3
+	// hole = 8
+}
+
+// Trees report the conventional hole = cyclo = 2 of Boulinier et al.
+func ExampleGraph_Hole() {
+	tree := graph.BinaryTree(7)
+	hole, exact := tree.Hole()
+	fmt.Println(hole, exact, tree.CycloBound())
+	// Output: 2 true 2
+}
+
+// Peripheral returns an antipodal pair — the seed of the Theorem 4
+// island construction.
+func ExampleGraph_Peripheral() {
+	g := graph.Path(9)
+	u, v := g.Peripheral()
+	fmt.Println(u, v, g.Dist(u, v) == g.Diameter())
+	// Output: 0 8 true
+}

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides the topology generators used across the experiments.
+// Dijkstra's protocol only runs on rings; SSME's selling point is that it
+// runs on any connected topology, so the harness sweeps all of these.
+
+// Ring returns the cycle C_n (n ≥ 3). Dijkstra's protocol and the paper's
+// running comparisons live on rings; diam = ⌊n/2⌋, hole = cyclo = n.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring needs n ≥ 3, got %d", n))
+	}
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return MustNew(fmt.Sprintf("ring-%d", n), n, edges)
+}
+
+// Path returns the path P_n (n ≥ 1); diam = n−1, the extreme case for the
+// ⌈diam/2⌉ bounds.
+func Path(n int) *Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return MustNew(fmt.Sprintf("path-%d", n), n, edges)
+}
+
+// Star returns the star K_{1,n−1} with center 0 (n ≥ 2); diam = 2.
+func Star(n int) *Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return MustNew(fmt.Sprintf("star-%d", n), n, edges)
+}
+
+// Complete returns K_n (n ≥ 1); diam = 1 for n ≥ 2, the smallest possible
+// synchronous stabilization bound ⌈1/2⌉ = 1.
+func Complete(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return MustNew(fmt.Sprintf("complete-%d", n), n, edges)
+}
+
+// Grid returns the rows×cols king-free mesh; diam = rows+cols−2.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("graph: grid needs positive dimensions")
+	}
+	id := func(r, c int) int { return r*cols + c }
+	var edges [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return MustNew(fmt.Sprintf("grid-%dx%d", rows, cols), rows*cols, edges)
+}
+
+// Torus returns the rows×cols wrap-around mesh (rows, cols ≥ 3);
+// diam = ⌊rows/2⌋+⌊cols/2⌋.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: torus needs dimensions ≥ 3")
+	}
+	id := func(r, c int) int { return r*cols + c }
+	var edges [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges, [2]int{id(r, c), id(r, (c+1)%cols)})
+			edges = append(edges, [2]int{id(r, c), id((r+1)%rows, c)})
+		}
+	}
+	return MustNew(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols, edges)
+}
+
+// Hypercube returns the dim-dimensional boolean hypercube Q_dim (dim ≥ 1);
+// n = 2^dim, diam = dim.
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 20 {
+		panic("graph: hypercube dimension out of range [1,20]")
+	}
+	n := 1 << dim
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				edges = append(edges, [2]int{v, u})
+			}
+		}
+	}
+	return MustNew(fmt.Sprintf("hypercube-%d", dim), n, edges)
+}
+
+// BinaryTree returns the complete binary tree with n vertices in heap order
+// (vertex i has children 2i+1 and 2i+2).
+func BinaryTree(n int) *Graph {
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{(i - 1) / 2, i})
+	}
+	return MustNew(fmt.Sprintf("bintree-%d", n), n, edges)
+}
+
+// Wheel returns the wheel W_n: a ring on vertices 1..n−1 plus hub 0
+// adjacent to every ring vertex (n ≥ 4); diam = 2.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic("graph: wheel needs n ≥ 4")
+	}
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		edges = append(edges, [2]int{i, next})
+	}
+	return MustNew(fmt.Sprintf("wheel-%d", n), n, edges)
+}
+
+// Lollipop returns a clique of cliqueN vertices attached to a tail path of
+// tailN vertices — a classic worst case mixing small and large distances.
+func Lollipop(cliqueN, tailN int) *Graph {
+	if cliqueN < 2 || tailN < 1 {
+		panic("graph: lollipop needs cliqueN ≥ 2 and tailN ≥ 1")
+	}
+	n := cliqueN + tailN
+	var edges [][2]int
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	for i := cliqueN - 1; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return MustNew(fmt.Sprintf("lollipop-%d+%d", cliqueN, tailN), n, edges)
+}
+
+// Petersen returns the Petersen graph (n=10, m=15, diam=2, girth 5).
+func Petersen() *Graph {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // outer 5-cycle
+		{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}, // inner pentagram
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}, // spokes
+	}
+	return MustNew("petersen", 10, edges)
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices
+// (n ≥ 1), generated from a random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n == 1 {
+		return MustNew("randtree-1", 1, nil)
+	}
+	if n == 2 {
+		return MustNew("randtree-2", 2, [][2]int{{0, 1}})
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	var edges [][2]int
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				edges = append(edges, [2]int{u, v})
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	var last []int
+	for u := 0; u < n; u++ {
+		if degree[u] == 1 {
+			last = append(last, u)
+		}
+	}
+	edges = append(edges, [2]int{last[0], last[1]})
+	return MustNew(fmt.Sprintf("randtree-%d", n), n, edges)
+}
+
+// RandomConnected returns a random connected graph on n vertices with
+// extra additional edges beyond a random spanning tree (duplicates are
+// re-drawn; extra is capped at the number of available non-tree slots).
+func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
+	tree := RandomTree(n, rng)
+	have := make(map[[2]int]bool, n-1+extra)
+	edges := tree.Edges()
+	for _, e := range edges {
+		have[e] = true
+	}
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	for added := 0; added < extra; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if have[key] {
+			continue
+		}
+		have[key] = true
+		edges = append(edges, key)
+		added++
+	}
+	return MustNew(fmt.Sprintf("randconn-%d+%d", n, extra), n, edges)
+}

@@ -1,0 +1,98 @@
+package graph
+
+import "testing"
+
+func TestCirculant(t *testing.T) {
+	t.Parallel()
+	// C_8(1) is the plain ring.
+	ring := Circulant(8, []int{1})
+	if ring.M() != 8 || ring.Diameter() != 4 {
+		t.Errorf("C_8(1): m=%d diam=%d", ring.M(), ring.Diameter())
+	}
+	// C_8(1,2) halves the diameter.
+	fast := Circulant(8, []int{1, 2})
+	if fast.M() != 16 || fast.Diameter() != 2 {
+		t.Errorf("C_8(1,2): m=%d diam=%d", fast.M(), fast.Diameter())
+	}
+	// j = n/2 antipodal edges must not be duplicated.
+	half := Circulant(6, []int{1, 3})
+	if half.M() != 9 {
+		t.Errorf("C_6(1,3): m=%d, want 6 ring + 3 antipodal = 9", half.M())
+	}
+	for _, bad := range [][]int{{0}, {5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("jumps %v: expected panic", bad)
+				}
+			}()
+			Circulant(8, bad)
+		}()
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	t.Parallel()
+	g := Barbell(4, 3)
+	if g.N() != 11 {
+		t.Fatalf("n=%d, want 11", g.N())
+	}
+	// Two K4s (6 edges each) + 4 bridge edges.
+	if g.M() != 16 {
+		t.Errorf("m=%d, want 16", g.M())
+	}
+	// Diameter: clique-end to clique-end = 1 + 4 + 1.
+	if g.Diameter() != 6 {
+		t.Errorf("diam=%d, want 6", g.Diameter())
+	}
+	if h, ok := g.Hole(); !ok || h != 3 {
+		t.Errorf("hole=%d ok=%v, want 3 (triangles only)", h, ok)
+	}
+}
+
+func TestBarbellNoBridge(t *testing.T) {
+	t.Parallel()
+	g := Barbell(3, 0)
+	if g.N() != 6 || !g.Adjacent(2, 3) {
+		t.Errorf("adjacent cliques must touch via the direct bridge edge")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	t.Parallel()
+	g := Caterpillar(4, 2)
+	if g.N() != 12 || !g.IsTree() {
+		t.Fatalf("caterpillar n=%d tree=%v", g.N(), g.IsTree())
+	}
+	// Leg to leg across the full spine: 1 + 3 + 1.
+	if g.Diameter() != 5 {
+		t.Errorf("diam=%d, want 5", g.Diameter())
+	}
+	if h, _ := g.Hole(); h != 2 {
+		t.Errorf("tree hole=%d, want 2", h)
+	}
+}
+
+func TestCycleWithChord(t *testing.T) {
+	t.Parallel()
+	g := CycleWithChord(8, 3)
+	if g.M() != 9 {
+		t.Fatalf("m=%d, want 9", g.M())
+	}
+	// Hole: the longer arc 0-3-4-5-6-7 plus chord = induced 6-cycle;
+	// the chord kills the 8-cycle's chordlessness.
+	if h, ok := g.Hole(); !ok || h != 6 {
+		t.Errorf("hole=%d, want 6", h)
+	}
+	if g.IsCycleGraph() {
+		t.Error("chorded cycle must not report as cycle graph")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("span n−1 must panic (parallel edge)")
+			}
+		}()
+		CycleWithChord(8, 7)
+	}()
+}

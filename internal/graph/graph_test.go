@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		n       int
+		edges   [][2]int
+		wantErr string
+	}{
+		{"empty", 0, nil, "at least one vertex"},
+		{"loop", 2, [][2]int{{0, 0}}, "self-loop"},
+		{"dup", 2, [][2]int{{0, 1}, {1, 0}}, "duplicate"},
+		{"range", 2, [][2]int{{0, 5}}, "out of range"},
+		{"disconnected", 3, [][2]int{{0, 1}}, "not connected"},
+		{"ok", 3, [][2]int{{0, 1}, {1, 2}}, ""},
+	}
+	for _, c := range cases {
+		_, err := New(c.name, c.n, c.edges)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err=%v, want mention of %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestGeneratorMetrics(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		g                *Graph
+		n, m, diam, hole int
+	}{
+		{Ring(8), 8, 8, 4, 8},
+		{Ring(9), 9, 9, 4, 9},
+		{Path(7), 7, 6, 6, 2},
+		{Star(6), 6, 5, 2, 2},
+		{Complete(5), 5, 10, 1, 3},
+		{Grid(3, 4), 12, 17, 5, 10}, // the grid perimeter is an induced C10
+		{Torus(3, 3), 9, 18, 2, 6},
+		{Hypercube(3), 8, 12, 3, 6}, // the longest induced cycle in Q3 is the 6-coil
+		{BinaryTree(7), 7, 6, 4, 2},
+		{Petersen(), 10, 15, 2, 6}, // girth 5, but induced C6 exists
+		{Wheel(6), 6, 10, 2, 5},    // the outer 5-ring is induced (hub off-cycle)
+		{Lollipop(4, 3), 7, 9, 4, 3},
+		{RandomTree(12, rng), 12, 11, -1, 2},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n {
+			t.Errorf("%s: n=%d want %d", c.g.Name(), c.g.N(), c.n)
+		}
+		if c.g.M() != c.m {
+			t.Errorf("%s: m=%d want %d", c.g.Name(), c.g.M(), c.m)
+		}
+		if c.diam >= 0 && c.g.Diameter() != c.diam {
+			t.Errorf("%s: diam=%d want %d", c.g.Name(), c.g.Diameter(), c.diam)
+		}
+		h, exact := c.g.Hole()
+		if !exact {
+			t.Errorf("%s: hole search should complete", c.g.Name())
+		} else if h != c.hole {
+			t.Errorf("%s: hole=%d want %d", c.g.Name(), h, c.hole)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range []*Graph{Ring(11), Grid(4, 4), Petersen(), RandomConnected(12, 6, rng)} {
+		n := g.N()
+		for u := 0; u < n; u++ {
+			if g.Dist(u, u) != 0 {
+				t.Fatalf("%s: Dist(%d,%d) != 0", g.Name(), u, u)
+			}
+			for v := 0; v < n; v++ {
+				if g.Dist(u, v) != g.Dist(v, u) {
+					t.Fatalf("%s: asymmetric distance (%d,%d)", g.Name(), u, v)
+				}
+				if g.Adjacent(u, v) != (g.Dist(u, v) == 1) {
+					t.Fatalf("%s: adjacency/distance mismatch (%d,%d)", g.Name(), u, v)
+				}
+				for w := 0; w < n; w++ {
+					if g.Dist(u, w) > g.Dist(u, v)+g.Dist(v, w) {
+						t.Fatalf("%s: triangle inequality fails (%d,%d,%d)", g.Name(), u, v, w)
+					}
+				}
+			}
+		}
+		u, v := g.Peripheral()
+		if g.Dist(u, v) != g.Diameter() {
+			t.Errorf("%s: Peripheral pair not at diameter distance", g.Name())
+		}
+		if g.Radius() > g.Diameter() || g.Diameter() > 2*g.Radius() {
+			t.Errorf("%s: radius %d and diameter %d violate r ≤ d ≤ 2r", g.Name(), g.Radius(), g.Diameter())
+		}
+	}
+}
+
+func TestBallAndBFS(t *testing.T) {
+	t.Parallel()
+	g := Grid(4, 4)
+	for _, r := range []int{0, 1, 2, 100} {
+		ball := g.Ball(5, r)
+		want := 0
+		dists := g.BFSDistances(5)
+		for v, d := range dists {
+			if d <= r {
+				want++
+				found := false
+				for _, b := range ball {
+					if b == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("Ball(5,%d) misses vertex %d at distance %d", r, v, d)
+				}
+			}
+		}
+		if len(ball) != want {
+			t.Errorf("Ball(5,%d) has %d vertices, want %d", r, len(ball), want)
+		}
+	}
+}
+
+// TestRandomTreeIsTree property-checks the Prüfer generator.
+func TestRandomTreeIsTree(t *testing.T) {
+	t.Parallel()
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}
+	prop := func(seed int64, sizeRaw uint8) bool {
+		n := int(sizeRaw)%30 + 1
+		g := RandomTree(n, rand.New(rand.NewSource(seed)))
+		return g.N() == n && g.IsTree()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomConnectedEdgeCount property-checks the extra-edge generator.
+func TestRandomConnectedEdgeCount(t *testing.T) {
+	t.Parallel()
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(4))}
+	prop := func(seed int64, sizeRaw, extraRaw uint8) bool {
+		n := int(sizeRaw)%20 + 2
+		extra := int(extraRaw) % 30
+		g := RandomConnected(n, extra, rand.New(rand.NewSource(seed)))
+		maxExtra := n*(n-1)/2 - (n - 1)
+		if extra > maxExtra {
+			extra = maxExtra
+		}
+		return g.M() == n-1+extra
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborsSortedAndConsistent(t *testing.T) {
+	t.Parallel()
+	g := Petersen()
+	for v := 0; v < g.N(); v++ {
+		ns := g.Neighbors(v)
+		if len(ns) != g.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i, u := range ns {
+			if i > 0 && ns[i-1] >= u {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", v, ns)
+			}
+			if !g.Adjacent(v, u) || !g.Adjacent(u, v) {
+				t.Fatalf("adjacency asymmetric for (%d,%d)", v, u)
+			}
+		}
+	}
+	if len(g.Edges()) != g.M() {
+		t.Errorf("Edges() returned %d edges, want %d", len(g.Edges()), g.M())
+	}
+}
+
+func TestLongestChordlessPath(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(6), 5},     // the path itself
+		{Complete(5), 1}, // any 2-path has a chord in K_n
+		{Ring(7), 5},     // all but one edge: closing edge is a chord
+		{Star(5), 2},     // leaf–center–leaf
+	}
+	for _, c := range cases {
+		got, exact := c.g.LongestChordlessPath()
+		if !exact {
+			t.Errorf("%s: lcp search should complete", c.g.Name())
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: lcp=%d want %d", c.g.Name(), got, c.want)
+		}
+	}
+}
+
+func TestCycloBoundConventions(t *testing.T) {
+	t.Parallel()
+	if got := Path(5).CycloBound(); got != 2 {
+		t.Errorf("tree cyclo bound = %d, want 2", got)
+	}
+	if !Ring(6).IsCycleGraph() {
+		t.Error("Ring(6) should be a cycle graph")
+	}
+	if Grid(2, 3).IsCycleGraph() {
+		t.Error("Grid(2,3) is not a cycle graph")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	t.Parallel()
+	g := Path(3)
+	dot := g.DOT(map[int]string{1: "mid"})
+	for _, want := range []string{"graph \"path-3\"", "0 -- 1", "1 -- 2", "mid"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output lacks %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	t.Parallel()
+	for name, fn := range map[string]func(){
+		"ring-2":      func() { Ring(2) },
+		"torus-small": func() { Torus(2, 3) },
+		"wheel-small": func() { Wheel(3) },
+		"grid-zero":   func() { Grid(0, 3) },
+		"hcube-big":   func() { Hypercube(21) },
+		"lolli-bad":   func() { Lollipop(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStringIncludesMetrics(t *testing.T) {
+	t.Parallel()
+	s := Ring(8).String()
+	if !strings.Contains(s, "ring-8") || !strings.Contains(s, "diam=4") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,192 @@
+package graph
+
+// This file computes the two topology constants that parameterize the
+// asynchronous unison of Boulinier, Petit and Villain (PODC 2004), which
+// SSME runs underneath:
+//
+//   - hole(g): the length of a longest hole (chordless cycle) of g, or 2
+//     when g is acyclic. Unison converges to Γ₁ when α ≥ hole(g) − 2.
+//   - cyclo(g): the cyclomatic characteristic (length of the maximal cycle
+//     of a shortest maximal cycle basis), or 2 when g is acyclic. Unison's
+//     liveness needs K > cyclo(g).
+//   - lcp(g): the length of a longest elementary chordless path, which
+//     bounds unison's synchronous stabilization time α + lcp(g) + diam(g)
+//     (Boulinier et al., Algorithmica 2008), used in Case 3 of Theorem 2.
+//
+// Exact computation of holes and chordless paths is exponential, so both
+// searches carry an explicit work budget; when it is exhausted the caller
+// falls back to the always-safe bound n (the paper itself only uses
+// hole(g) ≤ n and cyclo(g) ≤ n, instantiating α = n and K > n).
+
+const searchBudget = 2_000_000
+
+// Hole returns the length of a longest chordless cycle and true, or (0,
+// false) when the exhaustive search exceeded its work budget. Acyclic
+// graphs report (2, true) following the paper's convention.
+func (g *Graph) Hole() (int, bool) {
+	if g.IsTree() {
+		return 2, true
+	}
+	budget := searchBudget
+	best := 0
+	n := g.N()
+	inPath := make([]bool, n)
+	path := make([]int, 0, n)
+
+	var extend func(s int) bool
+	extend = func(s int) bool {
+		last := path[len(path)-1]
+		for _, u := range g.adj[last] {
+			if budget--; budget < 0 {
+				return false
+			}
+			// Canonical form: s is the smallest vertex of the cycle.
+			if u <= s || inPath[u] {
+				continue
+			}
+			// u must have no chord to the path interior v1..v_{k-1}.
+			chord := false
+			if len(path) >= 2 {
+				for _, w := range path[1 : len(path)-1] {
+					if g.Adjacent(u, w) {
+						chord = true
+						break
+					}
+				}
+			}
+			if chord {
+				continue
+			}
+			if len(path) >= 2 && g.Adjacent(u, s) {
+				// Closing edge: path + u is a chordless cycle of length ≥ 3.
+				if len(path)+1 > best {
+					best = len(path) + 1
+				}
+				continue // cannot extend past a vertex adjacent to s
+			}
+			path = append(path, u)
+			inPath[u] = true
+			ok := extend(s)
+			inPath[u] = false
+			path = path[:len(path)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	for s := 0; s < n; s++ {
+		path = append(path[:0], s)
+		inPath[s] = true
+		ok := extend(s)
+		inPath[s] = false
+		if !ok {
+			return 0, false
+		}
+	}
+	if best == 0 {
+		// Connected, not a tree, yet no cycle found: impossible.
+		return 2, true
+	}
+	return best, true
+}
+
+// HoleBound returns hole(g) exactly when the search completes within
+// budget, and the safe upper bound n otherwise.
+func (g *Graph) HoleBound() int {
+	if h, ok := g.Hole(); ok {
+		return h
+	}
+	return g.N()
+}
+
+// CycloBound returns an upper bound on cyclo(g): exactly 2 for trees,
+// exactly n when g is a simple cycle, and the safe bound n otherwise
+// (the paper: "by definition, hole(g) and cyclo(g) are bounded by n").
+func (g *Graph) CycloBound() int {
+	if g.IsTree() {
+		return 2
+	}
+	return g.N()
+}
+
+// IsCycleGraph reports whether g is exactly the cycle C_n (every vertex of
+// degree 2). For such graphs hole = cyclo = n.
+func (g *Graph) IsCycleGraph() bool {
+	if g.M() != g.N() {
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestChordlessPath returns the number of edges of a longest elementary
+// chordless (induced) path and true, or (0, false) when the search budget
+// is exhausted.
+func (g *Graph) LongestChordlessPath() (int, bool) {
+	budget := searchBudget
+	best := 0
+	n := g.N()
+	inPath := make([]bool, n)
+	path := make([]int, 0, n)
+
+	var extend func() bool
+	extend = func() bool {
+		if len(path)-1 > best {
+			best = len(path) - 1
+		}
+		last := path[len(path)-1]
+		for _, u := range g.adj[last] {
+			if budget--; budget < 0 {
+				return false
+			}
+			if inPath[u] {
+				continue
+			}
+			chord := false
+			for _, w := range path[:len(path)-1] {
+				if g.Adjacent(u, w) {
+					chord = true
+					break
+				}
+			}
+			if chord {
+				continue
+			}
+			path = append(path, u)
+			inPath[u] = true
+			ok := extend()
+			inPath[u] = false
+			path = path[:len(path)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	for s := 0; s < n; s++ {
+		path = append(path[:0], s)
+		inPath[s] = true
+		ok := extend()
+		inPath[s] = false
+		if !ok {
+			return 0, false
+		}
+	}
+	return best, true
+}
+
+// LCPBound returns lcp(g) exactly when feasible and the safe bound n
+// otherwise (the paper: "lcp(g) ≤ n by definition").
+func (g *Graph) LCPBound() int {
+	if l, ok := g.LongestChordlessPath(); ok {
+		return l
+	}
+	return g.N()
+}

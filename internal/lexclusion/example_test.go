@@ -1,0 +1,23 @@
+package lexclusion_test
+
+import (
+	"fmt"
+
+	"specstab/internal/graph"
+	"specstab/internal/lexclusion"
+)
+
+// ℓ-exclusion groups identities onto shared privilege values: a smaller
+// clock, ℓ concurrent critical sections, same self-stabilization.
+func Example() {
+	g := graph.Ring(8)
+	for _, l := range []int{1, 2, 4} {
+		p := lexclusion.MustNew(g, l)
+		fmt.Printf("ℓ=%d: %d groups, clock %v, ids 0 and 1 share a slot: %v\n",
+			l, p.Groups(), p.Clock(), p.Group(0) == p.Group(1))
+	}
+	// Output:
+	// ℓ=1: 8 groups, clock cherry(8,77), ids 0 and 1 share a slot: false
+	// ℓ=2: 4 groups, clock cherry(8,45), ids 0 and 1 share a slot: true
+	// ℓ=4: 2 groups, clock cherry(8,29), ids 0 and 1 share a slot: true
+}

@@ -1,0 +1,197 @@
+package lexclusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"specstab/internal/core"
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(6)
+	if _, err := New(g, 0); err == nil {
+		t.Error("ℓ=0 must be rejected")
+	}
+	if _, err := New(g, 7); err == nil {
+		t.Error("ℓ>n must be rejected")
+	}
+	if _, err := New(g, 3); err != nil {
+		t.Errorf("valid ℓ rejected: %v", err)
+	}
+}
+
+func TestDegeneratesToSSMEForLOne(t *testing.T) {
+	t.Parallel()
+	for _, g := range []*graph.Graph{graph.Ring(8), graph.Grid(3, 3), graph.Path(7)} {
+		lx := MustNew(g, 1)
+		me := core.MustNew(g)
+		if lx.Clock() != me.Clock() {
+			t.Errorf("%s: ℓ=1 clock %v differs from SSME's %v", g.Name(), lx.Clock(), me.Clock())
+		}
+		for v := 0; v < g.N(); v++ {
+			if lx.PrivilegeValue(v) != me.PrivilegeValue(v) {
+				t.Errorf("%s: privilege value of %d differs", g.Name(), v)
+			}
+		}
+	}
+}
+
+func TestGroupValuesWellSeparated(t *testing.T) {
+	t.Parallel()
+	for _, g := range []*graph.Graph{graph.Ring(9), graph.Grid(3, 4), graph.Star(10)} {
+		for _, l := range []int{1, 2, 3, g.N()} {
+			p := MustNew(g, l)
+			d := g.Diameter()
+			for u := 0; u < g.N(); u++ {
+				pu := p.PrivilegeValue(u)
+				if !p.Clock().InStab(pu) {
+					t.Fatalf("%s ℓ=%d: privilege value %d outside stabX", g.Name(), l, pu)
+				}
+				for v := u + 1; v < g.N(); v++ {
+					dk := p.Clock().DK(pu, p.PrivilegeValue(v))
+					sameGroup := p.Group(u) == p.Group(v)
+					if sameGroup && dk != 0 {
+						t.Fatalf("%s ℓ=%d: same group, distinct privilege values", g.Name(), l)
+					}
+					if !sameGroup && dk <= d {
+						t.Fatalf("%s ℓ=%d: groups %d,%d only d_K=%d ≤ diam apart",
+							g.Name(), l, p.Group(u), p.Group(v), dk)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSafetyInsideGamma1(t *testing.T) {
+	t.Parallel()
+	// In any legitimate configuration at most ℓ vertices are privileged:
+	// run long legitimate executions and check every configuration.
+	for _, l := range []int{1, 2, 4} {
+		g := graph.Ring(8)
+		p := MustNew(g, l)
+		initial, err := p.UniformConfig(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.MustEngine[int](p, daemon.NewDistributed[int](0.5), initial, 3)
+		for i := 0; i < 3*p.Clock().K; i++ {
+			if !p.SafeLX(e.Current()) {
+				t.Fatalf("ℓ=%d: %d privileged at step %d", l, p.PrivilegedCount(e.Current()), i)
+			}
+			if !p.Legitimate(e.Current()) {
+				t.Fatalf("ℓ=%d: left Γ₁", l)
+			}
+			if _, err := e.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestWholeGroupPrivilegedTogetherUnderSync(t *testing.T) {
+	t.Parallel()
+	// From the uniform start under sd all clocks advance in lockstep, so
+	// when a group's value comes up, all ℓ members are privileged at once
+	// — the concurrency the spec permits and ℓ-exclusion wants.
+	g := graph.Complete(6)
+	p := MustNew(g, 3)
+	initial, err := p.UniformConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+	sawFullGroup := false
+	for i := 0; i < 2*p.Clock().K; i++ {
+		if p.PrivilegedCount(e.Current()) == 3 {
+			sawFullGroup = true
+		}
+		if p.PrivilegedCount(e.Current()) > 3 {
+			t.Fatalf("more than ℓ privileged at step %d", i)
+		}
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFullGroup {
+		t.Error("never saw a full group privileged — ℓ-concurrency not realized")
+	}
+}
+
+func TestSelfStabilizesFromArbitraryConfigs(t *testing.T) {
+	t.Parallel()
+	for _, g := range []*graph.Graph{graph.Ring(7), graph.Grid(3, 3), graph.BinaryTree(7)} {
+		for _, l := range []int{2, 3} {
+			p := MustNew(g, l)
+			rng := rand.New(rand.NewSource(int64(l)))
+			daemons := []sim.Daemon[int]{
+				daemon.NewSynchronous[int](),
+				daemon.NewRandomCentral[int](),
+				daemon.NewDistributed[int](0.5),
+			}
+			for _, d := range daemons {
+				for trial := 0; trial < 5; trial++ {
+					e := sim.MustEngine[int](p, d, sim.RandomConfig[int](p, rng), int64(trial))
+					if _, err := e.Run(p.UnfairBoundMoves(), p.Legitimate); err != nil {
+						t.Fatal(err)
+					}
+					if !p.Legitimate(e.Current()) {
+						t.Fatalf("%s ℓ=%d under %s: Γ₁ not reached", g.Name(), l, d.Name())
+					}
+					// Closure + safety tail.
+					for i := 0; i < p.Clock().K; i++ {
+						if !p.SafeLX(e.Current()) {
+							t.Fatalf("%s ℓ=%d: safety broken after Γ₁", g.Name(), l)
+						}
+						if _, err := e.Step(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEveryVertexServedWithinWindow(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(6)
+	p := MustNew(g, 2)
+	initial, err := p.UniformConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+	served := make([]bool, g.N())
+	for i := 0; i < p.ServiceWindow(); i++ {
+		for v := 0; v < g.N(); v++ {
+			if p.Privileged(e.Current(), v) {
+				served[v] = true
+			}
+		}
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v, s := range served {
+		if !s {
+			t.Errorf("vertex %d never privileged within a service window", v)
+		}
+	}
+}
+
+func TestSmallerClockThanSSMEForLargeL(t *testing.T) {
+	t.Parallel()
+	// The practical payoff of grouping: fewer privilege slots mean a
+	// smaller clock, hence a shorter service rotation.
+	g := graph.Ring(12)
+	me := core.MustNew(g)
+	lx := MustNew(g, 4)
+	if lx.Clock().K >= me.Clock().K {
+		t.Errorf("ℓ=4 clock K=%d not smaller than SSME's K=%d", lx.Clock().K, me.Clock().K)
+	}
+}

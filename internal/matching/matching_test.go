@@ -1,0 +1,167 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+)
+
+func testGraphs(tb testing.TB) []*graph.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(9))
+	return []*graph.Graph{
+		graph.Ring(8),
+		graph.Ring(9),
+		graph.Path(7),
+		graph.Star(7),
+		graph.Complete(6),
+		graph.Grid(3, 3),
+		graph.Petersen(),
+		graph.BinaryTree(9),
+		graph.RandomConnected(10, 8, rng),
+	}
+}
+
+func TestDomainPreservation(t *testing.T) {
+	t.Parallel()
+	// Rules must keep every pointer inside neig(v) ∪ {⊥}.
+	g := graph.Petersen()
+	p := New(g)
+	rng := rand.New(rand.NewSource(1))
+	e := sim.MustEngine[State](p, daemon.NewRandomCentral[State](), sim.RandomConfig[State](p, rng), 2)
+	for i := 0; i < 300; i++ {
+		progressed, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := e.Current()
+		for v := 0; v < g.N(); v++ {
+			if ptr := c[v].P; ptr != Null && !g.Adjacent(v, ptr) {
+				t.Fatalf("step %d: vertex %d points at non-neighbor %d", i, v, ptr)
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func TestStabilizesToMaximalMatching(t *testing.T) {
+	t.Parallel()
+	for _, g := range testGraphs(t) {
+		p := New(g)
+		daemons := []sim.Daemon[State]{
+			daemon.NewSynchronous[State](),
+			daemon.NewRandomCentral[State](),
+			daemon.NewRoundRobin[State](g.N()),
+			daemon.NewDistributed[State](0.5),
+			daemon.NewGreedyCentral[State](p, p.ProgressPotential),
+			daemon.NewLookahead[State](p, p.ProgressPotential, 3),
+		}
+		rng := rand.New(rand.NewSource(23))
+		for _, d := range daemons {
+			for trial := 0; trial < 3; trial++ {
+				e := sim.MustEngine[State](p, d, sim.RandomConfig[State](p, rng), int64(trial))
+				fix, err := sim.RunToFixpoint(e, 4*p.UnfairBoundMoves())
+				if err != nil {
+					t.Fatalf("%s under %s: %v", g.Name(), d.Name(), err)
+				}
+				if !fix {
+					t.Fatalf("%s under %s: no fixpoint", g.Name(), d.Name())
+				}
+				if !p.IsMaximalMatching(e.Current()) {
+					t.Errorf("%s under %s: terminal configuration is not a maximal matching: %v",
+						g.Name(), d.Name(), e.Current())
+				}
+			}
+		}
+	}
+}
+
+func TestMoveBound4nPlus2m(t *testing.T) {
+	t.Parallel()
+	// Section 3 quotes 4n+2m total moves under the unfair distributed
+	// daemon. Verify no run exceeds it.
+	for _, g := range testGraphs(t) {
+		p := New(g)
+		bound := p.UnfairBoundMoves()
+		rng := rand.New(rand.NewSource(31))
+		daemons := []sim.Daemon[State]{
+			daemon.NewRandomCentral[State](),
+			daemon.NewDistributed[State](0.5),
+			daemon.NewGreedyCentral[State](p, p.ProgressPotential),
+		}
+		for _, d := range daemons {
+			for trial := 0; trial < 5; trial++ {
+				e := sim.MustEngine[State](p, d, sim.RandomConfig[State](p, rng), int64(trial))
+				fix, err := sim.RunToFixpoint(e, 4*bound)
+				if err != nil || !fix {
+					t.Fatalf("%s under %s: fixpoint=%v err=%v", g.Name(), d.Name(), fix, err)
+				}
+				if e.Moves() > bound {
+					t.Errorf("%s under %s: %d moves > 4n+2m = %d", g.Name(), d.Name(), e.Moves(), bound)
+				}
+			}
+		}
+	}
+}
+
+func TestSyncBound2nPlus1(t *testing.T) {
+	t.Parallel()
+	// Section 3 quotes 2n+1 synchronous steps.
+	for _, g := range testGraphs(t) {
+		p := New(g)
+		rng := rand.New(rand.NewSource(37))
+		for trial := 0; trial < 10; trial++ {
+			e := sim.MustEngine[State](p, daemon.NewSynchronous[State](), sim.RandomConfig[State](p, rng), 1)
+			fix, err := sim.RunToFixpoint(e, p.SyncBoundSteps()+1)
+			if err != nil || !fix {
+				t.Fatalf("%s: fixpoint=%v err=%v", g.Name(), fix, err)
+			}
+			if e.Steps() > p.SyncBoundSteps() {
+				t.Errorf("%s: %d sync steps > 2n+1 = %d", g.Name(), e.Steps(), p.SyncBoundSteps())
+			}
+		}
+	}
+}
+
+func TestMatchedEdgesAreRealEdges(t *testing.T) {
+	t.Parallel()
+	g := graph.Grid(3, 3)
+	p := New(g)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		e := sim.MustEngine[State](p, daemon.NewRandomCentral[State](), sim.RandomConfig[State](p, rng), int64(trial))
+		if _, err := sim.RunToFixpoint(e, 4*p.UnfairBoundMoves()); err != nil {
+			t.Fatal(err)
+		}
+		for _, edge := range p.Matched(e.Current()) {
+			if !g.Adjacent(edge[0], edge[1]) {
+				t.Fatalf("matched pair %v is not an edge", edge)
+			}
+		}
+	}
+}
+
+func TestCleanStartMarriesEveryoneOnCompleteEvenGraph(t *testing.T) {
+	t.Parallel()
+	// On K_6 a maximal matching is perfect; from the all-⊥ configuration
+	// the protocol must marry all six vertices.
+	g := graph.Complete(6)
+	p := New(g)
+	clean := make(sim.Config[State], g.N())
+	for v := range clean {
+		clean[v] = State{P: Null, M: false}
+	}
+	e := sim.MustEngine[State](p, daemon.NewRandomCentral[State](), clean, 7)
+	fix, err := sim.RunToFixpoint(e, 4*p.UnfairBoundMoves())
+	if err != nil || !fix {
+		t.Fatalf("fixpoint=%v err=%v", fix, err)
+	}
+	if got := len(p.Matched(e.Current())); got != 3 {
+		t.Errorf("perfect matching on K6 has 3 edges, got %d", got)
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// StepInfo describes one executed step for hooks and traces.
+type StepInfo struct {
+	// Step is the 1-based index of the transition just executed.
+	Step int
+	// Activated lists the vertices that fired, in increasing order.
+	Activated []int
+	// Rules[i] is the rule fired by Activated[i].
+	Rules []Rule
+}
+
+// Hook observes executed steps. The Activated/Rules slices are reused
+// between steps; copy them if retained.
+type Hook func(StepInfo)
+
+// Engine drives one execution of a protocol under a daemon from a given
+// initial configuration. It is deliberately sequential and deterministic:
+// given the same protocol, daemon, initial configuration and seed, it
+// replays the same execution (daemon randomness is drawn from the engine's
+// seeded generator).
+type Engine[S comparable] struct {
+	p   Protocol[S]
+	d   Daemon[S]
+	cfg Config[S]
+	rng *rand.Rand
+
+	steps int
+	moves int
+	hook  Hook
+
+	// Round accounting: a round is a minimal execution segment in which
+	// every vertex enabled at the segment's start is activated or
+	// observed disabled — the standard asynchronous time measure of the
+	// self-stabilization literature. owed tracks the vertices from the
+	// current round's start that have not yet been discharged.
+	rounds    int
+	owed      []bool
+	owedCount int
+
+	// Scratch buffers reused across steps.
+	enabled  []int
+	selected []int
+	rules    []Rule
+	next     []S
+}
+
+// NewEngine creates an engine executing p under d starting from initial.
+// The initial configuration is cloned; seed fixes all daemon randomness.
+func NewEngine[S comparable](p Protocol[S], d Daemon[S], initial Config[S], seed int64) (*Engine[S], error) {
+	if err := Validate(p, initial); err != nil {
+		return nil, err
+	}
+	e := &Engine[S]{
+		p:       p,
+		d:       d,
+		cfg:     initial.Clone(),
+		rng:     rand.New(rand.NewSource(seed)),
+		owed:    make([]bool, p.N()),
+		enabled: make([]int, 0, p.N()),
+	}
+	e.startRound()
+	return e, nil
+}
+
+// startRound charges the current enabled set to the new round.
+func (e *Engine[S]) startRound() {
+	e.owedCount = 0
+	for v := range e.owed {
+		e.owed[v] = false
+	}
+	for _, v := range Enabled(e.p, e.cfg, e.enabled[:0]) {
+		e.owed[v] = true
+		e.owedCount++
+	}
+}
+
+// settleRound discharges owed vertices after a step: a vertex is settled
+// once it has been activated or is observed disabled. When all are
+// settled, a round completes and the next one is charged.
+func (e *Engine[S]) settleRound(activated []int) {
+	for _, v := range activated {
+		if e.owed[v] {
+			e.owed[v] = false
+			e.owedCount--
+		}
+	}
+	if e.owedCount > 0 {
+		for v := range e.owed {
+			if !e.owed[v] {
+				continue
+			}
+			if _, ok := e.p.EnabledRule(e.cfg, v); !ok {
+				e.owed[v] = false
+				e.owedCount--
+			}
+		}
+	}
+	if e.owedCount == 0 {
+		e.rounds++
+		e.startRound()
+	}
+}
+
+// MustEngine is NewEngine for statically correct inputs; it panics on error.
+func MustEngine[S comparable](p Protocol[S], d Daemon[S], initial Config[S], seed int64) *Engine[S] {
+	e, err := NewEngine(p, d, initial, seed)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Protocol returns the protocol under execution.
+func (e *Engine[S]) Protocol() Protocol[S] { return e.p }
+
+// Daemon returns the driving daemon.
+func (e *Engine[S]) Daemon() Daemon[S] { return e.d }
+
+// Current returns the live configuration. It is shared with the engine and
+// must be treated as read-only; use Snapshot for an owned copy.
+func (e *Engine[S]) Current() Config[S] { return e.cfg }
+
+// Snapshot returns an independent copy of the current configuration.
+func (e *Engine[S]) Snapshot() Config[S] { return e.cfg.Clone() }
+
+// Steps returns the number of transitions executed so far.
+func (e *Engine[S]) Steps() int { return e.steps }
+
+// Moves returns the total number of vertex activations executed so far.
+func (e *Engine[S]) Moves() int { return e.moves }
+
+// Rounds returns the number of completed asynchronous rounds: execution
+// segments in which every vertex enabled at the segment start fired or
+// became disabled. Under the synchronous daemon every step is one round.
+func (e *Engine[S]) Rounds() int { return e.rounds }
+
+// SetHook installs a step observer (nil removes it).
+func (e *Engine[S]) SetHook(h Hook) { e.hook = h }
+
+// Enabled recomputes and returns the enabled vertices of the current
+// configuration; the slice is reused by the engine.
+func (e *Engine[S]) Enabled() []int {
+	e.enabled = Enabled(e.p, e.cfg, e.enabled)
+	return e.enabled
+}
+
+// ErrDaemonSelection reports a daemon returning an empty or invalid
+// selection — a bug in the daemon, not a property of the protocol.
+var ErrDaemonSelection = errors.New("sim: daemon returned an invalid selection")
+
+// Step executes one transition. It returns false when the configuration is
+// terminal (no enabled vertex), which for perpetual specifications is
+// itself a reportable anomaly. The error path only triggers on misbehaving
+// daemons.
+//
+// All activated vertices read the same pre-state γ and write γ′ together,
+// which is exactly the paper's notion of an action: the engine first
+// computes every next state from the unmodified configuration, then
+// commits them.
+func (e *Engine[S]) Step() (bool, error) {
+	enabled := e.Enabled()
+	if len(enabled) == 0 {
+		return false, nil
+	}
+	sel := e.d.Select(e.cfg, enabled, e.rng)
+	if len(sel) == 0 {
+		return false, fmt.Errorf("%w: empty selection by %s", ErrDaemonSelection, e.d.Name())
+	}
+	e.selected = append(e.selected[:0], sel...)
+	e.rules = e.rules[:0]
+	e.next = e.next[:0]
+	for _, v := range e.selected {
+		r, ok := e.p.EnabledRule(e.cfg, v)
+		if !ok {
+			return false, fmt.Errorf("%w: %s selected disabled vertex %d", ErrDaemonSelection, e.d.Name(), v)
+		}
+		e.rules = append(e.rules, r)
+		e.next = append(e.next, e.p.Apply(e.cfg, v, r))
+	}
+	for i, v := range e.selected {
+		e.cfg[v] = e.next[i]
+	}
+	e.steps++
+	e.moves += len(e.selected)
+	e.settleRound(e.selected)
+	if e.hook != nil {
+		e.hook(StepInfo{Step: e.steps, Activated: e.selected, Rules: e.rules})
+	}
+	return true, nil
+}
+
+// Run executes at most maxSteps transitions, stopping early when until
+// (optional) returns true for the current configuration or when a terminal
+// configuration is reached. It returns the number of steps executed by
+// this call.
+func (e *Engine[S]) Run(maxSteps int, until func(Config[S]) bool) (int, error) {
+	done := 0
+	for done < maxSteps {
+		if until != nil && until(e.cfg) {
+			return done, nil
+		}
+		progressed, err := e.Step()
+		if err != nil {
+			return done, err
+		}
+		if !progressed {
+			return done, nil
+		}
+		done++
+	}
+	return done, nil
+}

@@ -1,0 +1,162 @@
+// Package spec gives the paper's notion of specification (Section 2: "the
+// specification of a problem is the set of executions that satisfies the
+// problem") a machine-checkable form, unifying the per-protocol checks
+// scattered across the repository: a Spec bundles a safety predicate over
+// configurations with a liveness obligation over execution windows, and
+// Check scores a finite execution against both.
+//
+// Finite executions can only ever *refute* liveness over a window, never
+// prove it; Check therefore takes the window from the caller, who picks it
+// from the protocol's proven recurrence bounds (e.g. a full clock rotation
+// for SSME service, a round bound for unison increments).
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"specstab/internal/sim"
+)
+
+// Safety is a predicate over single configurations: spec_ME's "at most one
+// privileged vertex", spec_AU's "the configuration is in Γ₁".
+type Safety[S comparable] func(c sim.Config[S]) bool
+
+// Liveness judges a window of consecutive configurations (cfgs[i] is the
+// configuration after i steps of the window) and reports whether the
+// required progress happened within it: every vertex served, every clock
+// incremented, and so on.
+type Liveness[S comparable] func(cfgs []sim.Config[S]) bool
+
+// Spec is an executable specification.
+type Spec[S comparable] struct {
+	// Name identifies the spec in reports (e.g. "spec_ME").
+	Name string
+	// Safe is required.
+	Safe Safety[S]
+	// Live is optional; when set, LiveWindow must be positive: the spec
+	// demands that every LiveWindow-length window of a conforming
+	// execution satisfies Live.
+	Live       Liveness[S]
+	LiveWindow int
+}
+
+// Validate checks internal consistency.
+func (s Spec[S]) Validate() error {
+	if s.Safe == nil {
+		return errors.New("spec: Safe predicate is required")
+	}
+	if s.Live != nil && s.LiveWindow <= 0 {
+		return errors.New("spec: Live requires a positive LiveWindow")
+	}
+	return nil
+}
+
+// Report is the outcome of checking one execution suffix against a Spec.
+type Report struct {
+	// StepsChecked is the number of configurations examined.
+	StepsChecked int
+	// SafetyViolations counts configurations where Safe failed, and
+	// FirstViolation/LastViolation bracket them (−1 when none).
+	SafetyViolations int
+	FirstViolation   int
+	LastViolation    int
+	// LivenessViolations counts LiveWindow-windows where Live failed.
+	LivenessViolations int
+	// Holds is true when the execution satisfied the spec throughout.
+	Holds bool
+}
+
+// Check drives e for horizon steps and scores the produced execution
+// against the spec. The execution is expected to already be inside the
+// protocol's legitimacy set when convergence has been measured separately;
+// to measure convergence instead, see sim.MeasureConvergence.
+func Check[S comparable](e *sim.Engine[S], s Spec[S], horizon int) (Report, error) {
+	rep := Report{FirstViolation: -1, LastViolation: -1}
+	if err := s.Validate(); err != nil {
+		return rep, err
+	}
+	var window []sim.Config[S]
+	note := func(step int) {
+		c := e.Current()
+		rep.StepsChecked++
+		if !s.Safe(c) {
+			rep.SafetyViolations++
+			if rep.FirstViolation < 0 {
+				rep.FirstViolation = step
+			}
+			rep.LastViolation = step
+		}
+		if s.Live != nil {
+			window = append(window, c.Clone())
+			if len(window) == s.LiveWindow {
+				if !s.Live(window) {
+					rep.LivenessViolations++
+				}
+				// Slide by half a window: adjacent windows overlap so a
+				// violation straddling a boundary is still caught.
+				copy(window, window[s.LiveWindow/2+1:])
+				window = window[:s.LiveWindow-(s.LiveWindow/2+1)]
+			}
+		}
+	}
+	note(0)
+	for i := 1; i <= horizon; i++ {
+		progressed, err := e.Step()
+		if err != nil {
+			return rep, err
+		}
+		if !progressed {
+			break
+		}
+		note(i)
+	}
+	rep.Holds = rep.SafetyViolations == 0 && rep.LivenessViolations == 0
+	return rep, nil
+}
+
+// AtMostOnePrivileged builds spec_ME's safety from a privilege predicate.
+func AtMostOnePrivileged[S comparable](n int, privileged func(sim.Config[S], int) bool) Safety[S] {
+	return func(c sim.Config[S]) bool {
+		count := 0
+		for v := 0; v < n; v++ {
+			if privileged(c, v) {
+				count++
+				if count > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// EveryVertexEventually builds the recurring liveness obligation common to
+// mutual exclusion ("each vertex executes its critical section") and
+// unison ("each register is incremented"): within the window, event must
+// fire for every vertex at least once. The event sees consecutive
+// configuration pairs.
+func EveryVertexEventually[S comparable](n int, event func(before, after sim.Config[S], v int) bool) Liveness[S] {
+	return func(cfgs []sim.Config[S]) bool {
+		seen := make([]bool, n)
+		for i := 1; i < len(cfgs); i++ {
+			for v := 0; v < n; v++ {
+				if !seen[v] && event(cfgs[i-1], cfgs[i], v) {
+					seen[v] = true
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("spec report: %d steps, %d safety violations (first %d, last %d), %d liveness violations, holds=%v",
+		r.StepsChecked, r.SafetyViolations, r.FirstViolation, r.LastViolation, r.LivenessViolations, r.Holds)
+}

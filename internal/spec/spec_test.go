@@ -1,0 +1,143 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"specstab/internal/core"
+	"specstab/internal/daemon"
+	"specstab/internal/dijkstra"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+	"specstab/internal/unison"
+)
+
+func TestValidate(t *testing.T) {
+	t.Parallel()
+	if err := (Spec[int]{}).Validate(); err == nil {
+		t.Error("missing Safe must be rejected")
+	}
+	s := Spec[int]{Safe: func(sim.Config[int]) bool { return true }}
+	if err := s.Validate(); err != nil {
+		t.Errorf("minimal spec rejected: %v", err)
+	}
+	s.Live = func([]sim.Config[int]) bool { return true }
+	if err := s.Validate(); err == nil {
+		t.Error("Live without LiveWindow must be rejected")
+	}
+}
+
+// specME builds the full executable spec_ME for an SSME instance.
+func specME(p *core.Protocol) Spec[int] {
+	return Spec[int]{
+		Name: "spec_ME",
+		Safe: AtMostOnePrivileged[int](p.N(), p.Privileged),
+		Live: EveryVertexEventually[int](p.N(), func(before, after sim.Config[int], v int) bool {
+			// v executed its critical section: it was privileged and its
+			// register moved.
+			return p.Privileged(before, v) && before[v] != after[v]
+		}),
+		LiveWindow: p.ServiceWindow(),
+	}
+}
+
+func TestSpecMEHoldsAfterStabilization(t *testing.T) {
+	t.Parallel()
+	for _, g := range []*graph.Graph{graph.Ring(7), graph.Grid(3, 3)} {
+		p := core.MustNew(g)
+		initial, err := p.UniformConfig(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+		rep, err := Check(e, specME(p), 3*p.ServiceWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Holds {
+			t.Errorf("%s: %s", g.Name(), rep)
+		}
+	}
+}
+
+func TestSpecMERefutedFromCorruptedStart(t *testing.T) {
+	t.Parallel()
+	// From the adversarial islands, safety must be violated (that is the
+	// construction's purpose) and the report must say where.
+	g := graph.Path(9)
+	p := core.MustNew(g)
+	worst, err := p.WorstSyncConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), worst, 1)
+	rep, err := Check(e, specME(p), 3*p.ServiceWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds || rep.SafetyViolations == 0 {
+		t.Fatalf("expected safety violations from the island start: %s", rep)
+	}
+	if want := core.SyncBound(g) - 1; rep.LastViolation != want {
+		t.Errorf("last violation at step %d, want %d (= ⌈diam/2⌉ − 1)", rep.LastViolation, want)
+	}
+}
+
+func TestSpecAUOnUnison(t *testing.T) {
+	t.Parallel()
+	g := graph.Ring(6)
+	u, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specAU := Spec[int]{
+		Name: "spec_AU",
+		Safe: u.Legitimate,
+		Live: EveryVertexEventually[int](g.N(), func(before, after sim.Config[int], v int) bool {
+			return before[v] != after[v] // the register was incremented
+		}),
+		LiveWindow: 4 * u.Clock().K,
+	}
+	initial := u.RandomLegitimateConfig(rand.New(rand.NewSource(2)))
+	e := sim.MustEngine[int](u, daemon.NewDistributed[int](0.5), initial, 5)
+	rep, err := Check(e, specAU, 10*u.Clock().K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("spec_AU refuted on a legitimate execution: %s", rep)
+	}
+}
+
+func TestLivenessRefutation(t *testing.T) {
+	t.Parallel()
+	// Dijkstra under the max-id central daemon from a legitimate
+	// configuration serves every vertex (the token circulates), but a
+	// spec demanding service of vertex 0 within a tiny window must be
+	// refuted.
+	p := dijkstra.MustNew(5, 5)
+	tight := Spec[int]{
+		Name: "too-tight",
+		Safe: p.SafeME,
+		Live: EveryVertexEventually[int](p.N(), func(before, after sim.Config[int], v int) bool {
+			return p.Privileged(before, v) && before[v] != after[v]
+		}),
+		LiveWindow: 2, // nobody serves 5 vertices in 2 steps
+	}
+	e := sim.MustEngine[int](p, daemon.NewMaxIDCentral[int](), sim.Config[int]{0, 0, 0, 0, 0}, 1)
+	rep, err := Check(e, tight, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LivenessViolations == 0 {
+		t.Error("a 2-step service window must be refuted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	t.Parallel()
+	r := Report{StepsChecked: 5, SafetyViolations: 1, FirstViolation: 2, LastViolation: 2}
+	if s := r.String(); s == "" {
+		t.Error("empty report string")
+	}
+}

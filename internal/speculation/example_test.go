@@ -1,0 +1,42 @@
+package speculation_test
+
+import (
+	"fmt"
+
+	"specstab/internal/speculation"
+)
+
+// Definition 2's partial order: ud dominates everything; sd and cd are
+// incomparable.
+func ExampleMorePowerful() {
+	ud, sd, cd := speculation.UnfairDistributed, speculation.Synchronous, speculation.Central
+	fmt.Println(speculation.MorePowerful(ud, sd))
+	fmt.Println(speculation.MorePowerful(sd, ud))
+	fmt.Println(speculation.Comparable(sd, cd))
+	// Output:
+	// true
+	// false
+	// false
+}
+
+// A measured Definition 4 certificate: exact n² vs n curves recover the
+// claimed exponents.
+func ExampleMeasure() {
+	claim := speculation.Claim{
+		Protocol: "demo", Strong: speculation.UnfairDistributed,
+		Weak: speculation.Synchronous, StrongExponent: 2, WeakExponent: 1,
+	}
+	var strong, weak []speculation.CurvePoint
+	for _, n := range []int{4, 8, 16} {
+		strong = append(strong, speculation.CurvePoint{Size: n, Conv: float64(n * n)})
+		weak = append(weak, speculation.CurvePoint{Size: n, Conv: float64(n)})
+	}
+	cert, err := speculation.Measure(claim, strong, weak)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("strong exp %.1f, weak exp %.1f, separated: %v\n",
+		cert.StrongFit.Exponent, cert.WeakFit.Exponent, cert.Separated(0.3))
+	// Output: strong exp 2.0, weak exp 1.0, separated: true
+}

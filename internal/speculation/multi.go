@@ -1,0 +1,107 @@
+package speculation
+
+import (
+	"fmt"
+	"strings"
+
+	"specstab/internal/stats"
+)
+
+// The paper extends Definition 4 "to an arbitrary number of daemons (as
+// long as they are comparable)": a protocol is (d, d₁, d₂, f, f₁, f₂)-
+// speculatively stabilizing when it is both (d, d₁, f, f₁)- and
+// (d, d₂, f, f₂)-speculatively stabilizing. This file provides that
+// multi-daemon form: one strong daemon and a spectrum of weaker ones, each
+// with its own measured convergence curve.
+
+// WeakClaim is one weaker daemon of a multi-daemon claim.
+type WeakClaim struct {
+	Daemon   DaemonClass
+	Exponent float64
+}
+
+// MultiClaim is the (d, d₁, …, d_k, f, f₁, …, f_k) form of Definition 4.
+type MultiClaim struct {
+	Protocol       string
+	Strong         DaemonClass
+	StrongExponent float64
+	Weak           []WeakClaim
+}
+
+// Validate checks the comparability requirement: every weak daemon must be
+// strictly dominated by the strong one.
+func (c MultiClaim) Validate() error {
+	if len(c.Weak) == 0 {
+		return fmt.Errorf("speculation: multi-claim for %s has no weak daemons", c.Protocol)
+	}
+	for _, w := range c.Weak {
+		if w.Daemon == c.Strong || !MorePowerful(c.Strong, w.Daemon) {
+			return fmt.Errorf("speculation: %s is not strictly weaker than %s", w.Daemon, c.Strong)
+		}
+	}
+	return nil
+}
+
+// MultiCertificate is the measured counterpart of a MultiClaim.
+type MultiCertificate struct {
+	Claim       MultiClaim
+	StrongCurve []CurvePoint
+	StrongFit   stats.PowerFit
+	WeakCurves  [][]CurvePoint
+	WeakFits    []stats.PowerFit
+}
+
+// MeasureMulti fits the strong curve and every weak curve. The curves must
+// be given in the order of Claim.Weak.
+func MeasureMulti(claim MultiClaim, strong []CurvePoint, weak ...[]CurvePoint) (MultiCertificate, error) {
+	cert := MultiCertificate{Claim: claim, StrongCurve: strong, WeakCurves: weak}
+	if err := claim.Validate(); err != nil {
+		return cert, err
+	}
+	if len(weak) != len(claim.Weak) {
+		return cert, fmt.Errorf("speculation: %d weak curves for %d weak claims", len(weak), len(claim.Weak))
+	}
+	var err error
+	if cert.StrongFit, err = fit(strong); err != nil {
+		return cert, fmt.Errorf("speculation: fitting %s under %s: %w", claim.Protocol, claim.Strong, err)
+	}
+	cert.WeakFits = make([]stats.PowerFit, len(weak))
+	for i, curve := range weak {
+		if cert.WeakFits[i], err = fit(curve); err != nil {
+			return cert, fmt.Errorf("speculation: fitting %s under %s: %w",
+				claim.Protocol, claim.Weak[i].Daemon, err)
+		}
+	}
+	return cert, nil
+}
+
+// SeparatedAll reports whether every weak daemon exhibits its claimed gap
+// below the strong daemon (within tolerance tol in exponent units).
+func (c MultiCertificate) SeparatedAll(tol float64) bool {
+	for i, w := range c.Claim.Weak {
+		claimGap := c.Claim.StrongExponent - w.Exponent
+		measuredGap := c.StrongFit.Exponent - c.WeakFits[i].Exponent
+		if measuredGap <= claimGap-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the multi-daemon certificate.
+func (c MultiCertificate) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(c.Claim.Weak))
+	for _, w := range c.Claim.Weak {
+		names = append(names, w.Daemon.String())
+	}
+	fmt.Fprintf(&b, "%s is (%s; %s)-speculatively stabilizing\n",
+		c.Claim.Protocol, c.Claim.Strong, strings.Join(names, ", "))
+	fmt.Fprintf(&b, "  %s: measured size^%.2f (R²=%.3f), claimed size^%.1f\n",
+		c.Claim.Strong, c.StrongFit.Exponent, c.StrongFit.R2, c.Claim.StrongExponent)
+	for i, w := range c.Claim.Weak {
+		fmt.Fprintf(&b, "  %s: measured size^%.2f (R²=%.3f), claimed size^%.1f\n",
+			w.Daemon, c.WeakFits[i].Exponent, c.WeakFits[i].R2, w.Exponent)
+	}
+	return b.String()
+}

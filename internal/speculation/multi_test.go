@@ -1,0 +1,93 @@
+package speculation
+
+import (
+	"strings"
+	"testing"
+)
+
+func multiClaim() MultiClaim {
+	return MultiClaim{
+		Protocol:       "toy",
+		Strong:         UnfairDistributed,
+		StrongExponent: 2,
+		Weak: []WeakClaim{
+			{Daemon: Distributed, Exponent: 1},
+			{Daemon: Synchronous, Exponent: 1},
+		},
+	}
+}
+
+func curveOf(f func(n int) float64) []CurvePoint {
+	var out []CurvePoint
+	for _, n := range []int{4, 8, 16, 32} {
+		out = append(out, CurvePoint{Size: n, Conv: f(n)})
+	}
+	return out
+}
+
+func TestMultiClaimValidate(t *testing.T) {
+	t.Parallel()
+	if err := multiClaim().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := multiClaim()
+	bad.Weak = append(bad.Weak, WeakClaim{Daemon: UnfairDistributed, Exponent: 1})
+	if err := bad.Validate(); err == nil {
+		t.Error("ud must not appear among its own weak daemons")
+	}
+	sdStrong := MultiClaim{
+		Protocol: "x", Strong: Synchronous,
+		Weak: []WeakClaim{{Daemon: Central, Exponent: 1}},
+	}
+	if err := sdStrong.Validate(); err == nil {
+		t.Error("cd is not weaker than sd — incomparable classes must be rejected")
+	}
+	empty := MultiClaim{Protocol: "x", Strong: UnfairDistributed}
+	if err := empty.Validate(); err == nil {
+		t.Error("a multi-claim needs at least one weak daemon")
+	}
+}
+
+func TestMeasureMultiAndSeparation(t *testing.T) {
+	t.Parallel()
+	cert, err := MeasureMulti(multiClaim(),
+		curveOf(func(n int) float64 { return float64(n * n) }),
+		curveOf(func(n int) float64 { return 2 * float64(n) }),
+		curveOf(func(n int) float64 { return float64(n) / 2 }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.SeparatedAll(0.3) {
+		t.Error("n² vs n vs n must separate for a gap-1 claim")
+	}
+	out := cert.String()
+	for _, want := range []string{"toy", "ud", "dd", "sd", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureMultiCurveCountMismatch(t *testing.T) {
+	t.Parallel()
+	_, err := MeasureMulti(multiClaim(), curveOf(func(n int) float64 { return float64(n) }))
+	if err == nil {
+		t.Error("want error for missing weak curves")
+	}
+}
+
+func TestSeparatedAllFailsWhenOneGapMissing(t *testing.T) {
+	t.Parallel()
+	cert, err := MeasureMulti(multiClaim(),
+		curveOf(func(n int) float64 { return float64(n * n) }),
+		curveOf(func(n int) float64 { return float64(n) }),
+		curveOf(func(n int) float64 { return float64(n * n) }), // sd shows NO gap
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.SeparatedAll(0.3) {
+		t.Error("a flat weak curve must break SeparatedAll")
+	}
+}

@@ -1,0 +1,158 @@
+// Package speculation mechanizes Section 3: the daemon partial order of
+// Definition 2 and speculative stabilization of Definition 4. A protocol
+// is (d, d′, f, f′)-speculatively stabilizing when it self-stabilizes under
+// d and its stabilization time as a *function of the adversary* drops from
+// Θ(f) under d to Θ(f′) under the weaker d′ ≺ d.
+//
+// Empirically a certificate is two measured convergence curves over a
+// family of instances — one per daemon — with fitted growth rates; the
+// experiment harness (internal/experiments) produces them for SSME and for
+// the paper's catalogue (Dijkstra, min+1 BFS, maximal matching).
+package speculation
+
+import (
+	"fmt"
+	"strings"
+
+	"specstab/internal/stats"
+)
+
+// DaemonClass names the daemon classes of the paper, partially ordered by
+// Definition 2 ("more powerful" = allows more executions).
+type DaemonClass int
+
+// The daemon classes used across the paper.
+const (
+	// Synchronous is sd: all enabled vertices fire (deterministic).
+	Synchronous DaemonClass = iota + 1
+	// Central is cd: exactly one enabled vertex fires.
+	Central
+	// Distributed is the distributed (but fair-free) daemon: any
+	// non-empty subset fires.
+	Distributed
+	// UnfairDistributed is ud, the most powerful daemon: all executions.
+	UnfairDistributed
+)
+
+// String implements fmt.Stringer.
+func (c DaemonClass) String() string {
+	switch c {
+	case Synchronous:
+		return "sd"
+	case Central:
+		return "cd"
+	case Distributed:
+		return "dd"
+	case UnfairDistributed:
+		return "ud"
+	default:
+		return fmt.Sprintf("daemon-class(%d)", int(c))
+	}
+}
+
+// MorePowerful reports d ⪰ d′ in the partial order of Definition 2: every
+// execution allowed by d′ is allowed by d. ud dominates everything;
+// the distributed daemon dominates both sd and cd (it may fire any
+// non-empty subset); sd and cd are incomparable (the paper's example).
+func MorePowerful(d, dPrime DaemonClass) bool {
+	if d == dPrime {
+		return true
+	}
+	switch d {
+	case UnfairDistributed:
+		return true
+	case Distributed:
+		return dPrime == Synchronous || dPrime == Central
+	default:
+		return false
+	}
+}
+
+// Comparable reports whether two classes are ordered either way.
+func Comparable(a, b DaemonClass) bool { return MorePowerful(a, b) || MorePowerful(b, a) }
+
+// CurvePoint is one measured instance of a convergence curve.
+type CurvePoint struct {
+	// Size is the instance parameter driving the fit (usually n; diam for
+	// the min+1 synchronous claim).
+	Size int
+	// Conv is the measured worst stabilization time at this size, in the
+	// unit the claim is stated in (steps under sd, moves under ud).
+	Conv float64
+}
+
+// Claim is a Definition 4 instance as stated in the paper, e.g. Dijkstra's
+// ring is (ud, sd, n², n)-speculatively stabilizing.
+type Claim struct {
+	Protocol string
+	// Strong is the powerful daemon d (with its stabilization exponent in
+	// the instance size); Weak is the speculated-frequent daemon d′.
+	Strong, Weak DaemonClass
+	// StrongExponent and WeakExponent are the Θ-exponents of f and f′ in
+	// the size measure (e.g. 2 and 1 for Dijkstra's n² vs n).
+	StrongExponent, WeakExponent float64
+}
+
+// Certificate is the measured counterpart of a Claim.
+type Certificate struct {
+	Claim  Claim
+	Strong []CurvePoint
+	Weak   []CurvePoint
+
+	// Fits of conv ≈ c·size^k per daemon (log-log least squares).
+	StrongFit stats.PowerFit
+	WeakFit   stats.PowerFit
+}
+
+// Measure fits both curves and returns the certificate.
+func Measure(claim Claim, strong, weak []CurvePoint) (Certificate, error) {
+	cert := Certificate{Claim: claim, Strong: strong, Weak: weak}
+	var err error
+	if cert.StrongFit, err = fit(strong); err != nil {
+		return cert, fmt.Errorf("speculation: fitting %s under %s: %w", claim.Protocol, claim.Strong, err)
+	}
+	if cert.WeakFit, err = fit(weak); err != nil {
+		return cert, fmt.Errorf("speculation: fitting %s under %s: %w", claim.Protocol, claim.Weak, err)
+	}
+	return cert, nil
+}
+
+func fit(points []CurvePoint) (stats.PowerFit, error) {
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = float64(p.Size)
+		ys[i] = p.Conv
+	}
+	return stats.FitPower(xs, ys)
+}
+
+// Separated reports whether the measured exponents exhibit the claimed
+// speculative gap: the weak-daemon curve grows measurably slower than the
+// strong-daemon curve (within tolerance tol of exponent units, checked
+// against the claim's own gap).
+func (c Certificate) Separated(tol float64) bool {
+	claimGap := c.Claim.StrongExponent - c.Claim.WeakExponent
+	measuredGap := c.StrongFit.Exponent - c.WeakFit.Exponent
+	return measuredGap > claimGap-tol
+}
+
+// String renders the certificate as a compact report.
+func (c Certificate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s is (%s, %s)-speculatively stabilizing\n",
+		c.Claim.Protocol, c.Claim.Strong, c.Claim.Weak)
+	fmt.Fprintf(&b, "  claimed : Θ(size^%.1f) under %s vs Θ(size^%.1f) under %s\n",
+		c.Claim.StrongExponent, c.Claim.Strong, c.Claim.WeakExponent, c.Claim.Weak)
+	fmt.Fprintf(&b, "  measured: size^%.2f (R²=%.3f) vs size^%.2f (R²=%.3f)\n",
+		c.StrongFit.Exponent, c.StrongFit.R2, c.WeakFit.Exponent, c.WeakFit.R2)
+	for i := range c.Strong {
+		w := CurvePoint{}
+		if i < len(c.Weak) {
+			w = c.Weak[i]
+		}
+		fmt.Fprintf(&b, "  size %4d: %s=%.0f  %s=%.0f\n",
+			c.Strong[i].Size, c.Claim.Strong, c.Strong[i].Conv, c.Claim.Weak, w.Conv)
+	}
+	return b.String()
+}

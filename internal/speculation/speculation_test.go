@@ -1,0 +1,100 @@
+package speculation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPartialOrder(t *testing.T) {
+	t.Parallel()
+	// Definition 2's examples: ud is more powerful than every daemon;
+	// sd and cd are incomparable.
+	all := []DaemonClass{Synchronous, Central, Distributed, UnfairDistributed}
+	for _, d := range all {
+		if !MorePowerful(UnfairDistributed, d) {
+			t.Errorf("ud should dominate %s", d)
+		}
+		if !MorePowerful(d, d) {
+			t.Errorf("%s should be reflexively comparable", d)
+		}
+		if d != UnfairDistributed && MorePowerful(d, UnfairDistributed) {
+			t.Errorf("%s must not dominate ud", d)
+		}
+	}
+	if Comparable(Synchronous, Central) {
+		t.Error("sd and cd are incomparable (the paper's example)")
+	}
+	if !MorePowerful(Distributed, Synchronous) || !MorePowerful(Distributed, Central) {
+		t.Error("the distributed daemon subsumes both sd and cd")
+	}
+	if got := UnfairDistributed.String(); got != "ud" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := DaemonClass(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown class renders %q", got)
+	}
+}
+
+func square(points []CurvePoint) []CurvePoint { return points }
+
+func TestMeasureAndSeparation(t *testing.T) {
+	t.Parallel()
+	claim := Claim{
+		Protocol:       "toy",
+		Strong:         UnfairDistributed,
+		Weak:           Synchronous,
+		StrongExponent: 2,
+		WeakExponent:   1,
+	}
+	var strong, weak []CurvePoint
+	for _, n := range []int{4, 8, 16, 32} {
+		strong = append(strong, CurvePoint{Size: n, Conv: float64(n * n)})
+		weak = append(weak, CurvePoint{Size: n, Conv: float64(n)})
+	}
+	cert, err := Measure(claim, square(strong), weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.StrongFit.Exponent < 1.95 || cert.StrongFit.Exponent > 2.05 {
+		t.Errorf("strong exponent %v", cert.StrongFit.Exponent)
+	}
+	if cert.WeakFit.Exponent < 0.95 || cert.WeakFit.Exponent > 1.05 {
+		t.Errorf("weak exponent %v", cert.WeakFit.Exponent)
+	}
+	if !cert.Separated(0.3) {
+		t.Error("exact n² vs n curves must separate")
+	}
+	out := cert.String()
+	for _, want := range []string{"toy", "ud", "sd", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("certificate rendering lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureRejectsDegenerateCurves(t *testing.T) {
+	t.Parallel()
+	claim := Claim{Protocol: "bad", Strong: UnfairDistributed, Weak: Synchronous}
+	if _, err := Measure(claim, nil, nil); err == nil {
+		t.Error("want error for empty curves")
+	}
+}
+
+func TestNotSeparatedWhenFlat(t *testing.T) {
+	t.Parallel()
+	claim := Claim{
+		Protocol: "flat", Strong: UnfairDistributed, Weak: Synchronous,
+		StrongExponent: 2, WeakExponent: 1,
+	}
+	var same []CurvePoint
+	for _, n := range []int{4, 8, 16} {
+		same = append(same, CurvePoint{Size: n, Conv: float64(n)})
+	}
+	cert, err := Measure(claim, same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Separated(0.3) {
+		t.Error("identical curves must not separate against a gap-1 claim")
+	}
+}

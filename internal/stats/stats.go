@@ -1,0 +1,183 @@
+// Package stats provides the small numeric toolkit used by the experiment
+// harness: summary statistics over sampled stabilization times, log-log
+// growth-rate fitting for Θ-class estimation, and plain-text table rendering.
+//
+// Everything operates on float64 slices and is deterministic; the package
+// has no dependencies beyond the standard library.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summary functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P95    float64
+	StdDev float64
+}
+
+// Summarize computes descriptive statistics for xs.
+// It returns ErrEmpty when xs has no elements.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	s := Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Percentile(sorted, 0.50),
+		P95:    Percentile(sorted, 0.95),
+	}
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
+	var sq float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.StdDev = math.Sqrt(sq / float64(len(sorted)))
+	return s, nil
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an already sorted sample
+// using linear interpolation between closest ranks. It returns NaN for an
+// empty sample and clamps p into [0, 1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MaxInt returns the maximum of xs, or 0 when xs is empty.
+func MaxInt(xs []int) int {
+	max := 0
+	for i, x := range xs {
+		if i == 0 || x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// MeanInt returns the arithmetic mean of xs, or 0 when xs is empty.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// Floats converts an int sample to float64 for use with Summarize.
+func Floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// PowerFit is the result of fitting y ≈ c·x^k by least squares on
+// (log x, log y). Exponent is k, Coefficient is c, and R2 is the coefficient
+// of determination of the fit in log space.
+type PowerFit struct {
+	Exponent    float64
+	Coefficient float64
+	R2          float64
+}
+
+// FitPower fits y ≈ c·x^k through the given points. Points with
+// non-positive coordinates are skipped (log undefined). It returns ErrEmpty
+// when fewer than two usable points remain.
+//
+// The fit is the standard tool for estimating the Θ-class of a measured
+// stabilization-time curve: for example the Section 3 claim that Dijkstra's
+// ring stabilizes in Θ(n²) steps under the unfair daemon should yield an
+// exponent near 2 on a size sweep.
+func FitPower(xs, ys []float64) (PowerFit, error) {
+	if len(xs) != len(ys) {
+		return PowerFit{}, errors.New("stats: mismatched sample lengths")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return PowerFit{}, ErrEmpty
+	}
+	slope, intercept, r2 := linearFit(lx, ly)
+	return PowerFit{Exponent: slope, Coefficient: math.Exp(intercept), R2: r2}, nil
+}
+
+// linearFit returns the least-squares slope, intercept and R² of y = a·x+b.
+func linearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	// Constant data leaves ssTot at rounding-noise scale; report a perfect
+	// fit rather than a wild ratio of two epsilons.
+	if ssTot < 1e-12 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return slope, intercept, r2
+}

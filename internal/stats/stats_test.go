@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	s, err := Summarize([]float64{4, 1, 3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev %v", s.StdDev)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	t.Parallel()
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("P%.2f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+// TestSummaryInvariants property-checks min ≤ median ≤ max and
+// min ≤ mean ≤ max on random samples.
+func TestSummaryInvariants(t *testing.T) {
+	t.Parallel()
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPowerRecoversExactLaws(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name     string
+		f        func(x float64) float64
+		exponent float64
+	}{
+		{"linear", func(x float64) float64 { return 3 * x }, 1},
+		{"quadratic", func(x float64) float64 { return 0.5 * x * x }, 2},
+		{"sqrt", math.Sqrt, 0.5},
+		{"constant", func(float64) float64 { return 7 }, 0},
+	}
+	for _, c := range cases {
+		var xs, ys []float64
+		for _, x := range []float64{4, 8, 16, 32, 64} {
+			xs = append(xs, x)
+			ys = append(ys, c.f(x))
+		}
+		fit, err := FitPower(xs, ys)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(fit.Exponent-c.exponent) > 0.01 {
+			t.Errorf("%s: exponent %v, want %v", c.name, fit.Exponent, c.exponent)
+		}
+		if fit.R2 < 0.999 {
+			t.Errorf("%s: R² %v for an exact law", c.name, fit.R2)
+		}
+	}
+}
+
+func TestFitPowerRejectsDegenerate(t *testing.T) {
+	t.Parallel()
+	if _, err := FitPower([]float64{1, 2}, []float64{3}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := FitPower([]float64{-1, 0}, []float64{1, 2}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty for non-positive points, got %v", err)
+	}
+}
+
+func TestIntHelpers(t *testing.T) {
+	t.Parallel()
+	if MaxInt(nil) != 0 || MaxInt([]int{3, 9, 1}) != 9 {
+		t.Error("MaxInt wrong")
+	}
+	if MeanInt(nil) != 0 || MeanInt([]int{2, 4}) != 3 {
+		t.Error("MeanInt wrong")
+	}
+	fs := Floats([]int{1, 2})
+	if len(fs) != 2 || fs[1] != 2.0 {
+		t.Error("Floats wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 3)
+	tb.AddRow("beta", 1.5)
+	tb.AddRow("gamma", 2.0) // integral float renders without decimals
+	tb.AddNote("note %d", 1)
+	out := tb.String()
+	for _, want := range []string{"Demo", "alpha", "1.50", "gamma  2", "note: note 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(`quo"te`, "with,comma")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"quo""te"`) || !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("CSV escaping wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+}

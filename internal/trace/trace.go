@@ -1,0 +1,128 @@
+// Package trace records and renders executions: configuration snapshots,
+// privilege timelines and clock strips. It is the visualization layer used
+// by cmd/ssme and the examples; nothing here affects the dynamics.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"specstab/internal/sim"
+)
+
+// Recorder stores configuration snapshots at a fixed step stride.
+type Recorder[S comparable] struct {
+	stride  int
+	steps   []int
+	configs []sim.Config[S]
+}
+
+// NewRecorder creates a recorder keeping every stride-th configuration
+// (stride 1 keeps all). Record the initial configuration explicitly with
+// Record(0, cfg).
+func NewRecorder[S comparable](stride int) *Recorder[S] {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Recorder[S]{stride: stride}
+}
+
+// Record stores cfg (cloned) if step is on-stride.
+func (r *Recorder[S]) Record(step int, cfg sim.Config[S]) {
+	if step%r.stride != 0 {
+		return
+	}
+	r.steps = append(r.steps, step)
+	r.configs = append(r.configs, cfg.Clone())
+}
+
+// Len returns the number of stored snapshots.
+func (r *Recorder[S]) Len() int { return len(r.steps) }
+
+// At returns the i-th stored (step, configuration) pair.
+func (r *Recorder[S]) At(i int) (int, sim.Config[S]) { return r.steps[i], r.configs[i] }
+
+// Watch attaches the recorder to an engine: it snapshots the current
+// configuration now (as the initial one if nothing is recorded yet) and
+// after every subsequent step. It replaces the engine's hook.
+func (r *Recorder[S]) Watch(e *sim.Engine[S]) {
+	if r.Len() == 0 {
+		r.Record(e.Steps(), e.Current())
+	}
+	e.SetHook(func(info sim.StepInfo) {
+		r.Record(info.Step, e.Current())
+	})
+}
+
+// PrivilegeTimeline renders one row per snapshot, one column per vertex:
+// '*' where privileged holds, '·' elsewhere. Rows with two or more stars
+// are safety violations and get a trailing "!!".
+func PrivilegeTimeline[S comparable](r *Recorder[S], n int, privileged func(sim.Config[S], int) bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  %s\n", "step", "vertices 0..n-1 (*=privileged)")
+	for i := 0; i < r.Len(); i++ {
+		step, cfg := r.At(i)
+		count := 0
+		row := make([]byte, n)
+		for v := 0; v < n; v++ {
+			if privileged(cfg, v) {
+				row[v] = '*'
+				count++
+			} else {
+				row[v] = '.'
+			}
+		}
+		fmt.Fprintf(&b, "%6d  %s", step, row)
+		if count > 1 {
+			b.WriteString("  !! double privilege")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IntStrip renders integer-state snapshots as aligned columns — the raw
+// register values over time (clock values for unison/SSME, counters for
+// Dijkstra, levels for BFS).
+func IntStrip(r *Recorder[int], n int) string {
+	width := 3
+	for i := 0; i < r.Len(); i++ {
+		_, cfg := r.At(i)
+		for _, x := range cfg {
+			if w := len(fmt.Sprintf("%d", x)); w+1 > width {
+				width = w + 1
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  registers r_0..r_%d\n", "step", n-1)
+	for i := 0; i < r.Len(); i++ {
+		step, cfg := r.At(i)
+		fmt.Fprintf(&b, "%6d ", step)
+		for _, x := range cfg {
+			fmt.Fprintf(&b, "%*d", width, x)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the recorded integer snapshots as CSV with a step column —
+// the machine-readable form of IntStrip.
+func CSV(r *Recorder[int], n int) string {
+	var b strings.Builder
+	b.WriteString("step")
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(&b, ",r%d", v)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < r.Len(); i++ {
+		step, cfg := r.At(i)
+		fmt.Fprintf(&b, "%d", step)
+		for _, x := range cfg {
+			fmt.Fprintf(&b, ",%d", x)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"specstab/internal/daemon"
+	"specstab/internal/dijkstra"
+	"specstab/internal/sim"
+)
+
+func TestRecorderStride(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder[int](2)
+	for step := 0; step <= 6; step++ {
+		r.Record(step, sim.Config[int]{step})
+	}
+	if r.Len() != 4 { // steps 0, 2, 4, 6
+		t.Fatalf("recorded %d snapshots, want 4", r.Len())
+	}
+	step, cfg := r.At(1)
+	if step != 2 || cfg[0] != 2 {
+		t.Errorf("At(1) = (%d, %v)", step, cfg)
+	}
+	// Snapshots are clones: mutating the source must not change history.
+	src := sim.Config[int]{42}
+	r2 := NewRecorder[int](1)
+	r2.Record(0, src)
+	src[0] = 7
+	if _, cfg := r2.At(0); cfg[0] != 42 {
+		t.Error("recorder aliases the live configuration")
+	}
+}
+
+func TestRecorderDefaultStride(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder[int](0) // clamps to 1
+	r.Record(0, sim.Config[int]{1})
+	r.Record(1, sim.Config[int]{2})
+	if r.Len() != 2 {
+		t.Errorf("len %d, want 2", r.Len())
+	}
+}
+
+func TestWatchEngine(t *testing.T) {
+	t.Parallel()
+	p := dijkstra.MustNew(4, 4)
+	e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), sim.Config[int]{0, 1, 2, 3}, 1)
+	r := NewRecorder[int](1)
+	r.Watch(e)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 4 { // initial + 3 steps
+		t.Fatalf("recorded %d snapshots, want 4", r.Len())
+	}
+}
+
+func TestPrivilegeTimelineFlagsDoublePrivilege(t *testing.T) {
+	t.Parallel()
+	p := dijkstra.MustNew(4, 4)
+	r := NewRecorder[int](1)
+	r.Record(0, sim.Config[int]{0, 1, 2, 3}) // several tokens
+	r.Record(1, sim.Config[int]{0, 0, 0, 0}) // single token (bottom)
+	out := PrivilegeTimeline[int](r, 4, p.Privileged)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "!! double privilege") {
+		t.Errorf("multi-token row not flagged:\n%s", out)
+	}
+	if strings.Contains(lines[2], "!!") {
+		t.Errorf("single-token row wrongly flagged:\n%s", out)
+	}
+}
+
+func TestIntStripAndCSV(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder[int](1)
+	r.Record(0, sim.Config[int]{-5, 100})
+	r.Record(1, sim.Config[int]{-4, 101})
+	strip := IntStrip(r, 2)
+	if !strings.Contains(strip, "-5") || !strings.Contains(strip, "101") {
+		t.Errorf("strip lacks values:\n%s", strip)
+	}
+	csv := CSV(r, 2)
+	if !strings.HasPrefix(csv, "step,r0,r1\n0,-5,100\n") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}

@@ -1,0 +1,45 @@
+package unison_test
+
+import (
+	"fmt"
+
+	"specstab/internal/daemon"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+	"specstab/internal/unison"
+)
+
+// Unison on a small tree with the minimal clock the theory allows: from a
+// corrupted configuration the reset wave re-synchronizes everything.
+func Example() {
+	g := graph.Path(4)
+	u, err := unison.New(g, unison.MinimalParams(g)) // cherry(1,3) on a tree
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("clock:", u.Clock())
+
+	corrupted := sim.Config[int]{-1, 0, 1, 2} // a register stuck in the tail
+	fmt.Println("legitimate before:", u.Legitimate(corrupted))
+	e := sim.MustEngine[int](u, daemon.NewSynchronous[int](), corrupted, 1)
+	if _, err := e.Run(u.SyncHorizon(), u.Legitimate); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("legitimate after :", u.Legitimate(e.Current()))
+	fmt.Println("within α+lcp+diam:", e.Steps() <= u.SyncHorizon())
+	// Output:
+	// clock: cherry(1,3)
+	// legitimate before: false
+	// legitimate after : true
+	// within α+lcp+diam: true
+}
+
+// The paper's safe instantiation α = n, K = n+2 validates on any graph.
+func ExampleSafeParams() {
+	g := graph.Petersen()
+	x := unison.SafeParams(g)
+	fmt.Println(x, unison.ValidateParams(g, x) == nil)
+	// Output: cherry(10,12) true
+}

@@ -1,0 +1,120 @@
+package unison
+
+import (
+	"math/rand"
+
+	"specstab/internal/sim"
+)
+
+// Specification 2 (spec_AU): safety is membership in Γ₁ for every
+// configuration of the execution; liveness is that every register is
+// incremented infinitely often. This file provides the Γ₁ predicate, the
+// worst-case horizons from the literature the paper cites, and the
+// adversarial potential used by the unfair-daemon experiments.
+
+// LocallyLegitimate reports whether v satisfies its share of Γ₁: its clock
+// and all neighbor clocks are correct values with drift at most 1.
+func (p *Protocol) LocallyLegitimate(c sim.Config[int], v int) bool {
+	if !p.x.InStab(c[v]) {
+		return false
+	}
+	for _, u := range p.g.Neighbors(v) {
+		if !p.x.InStab(c[u]) || p.x.DK(c[v], c[u]) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Legitimate reports c ∈ Γ₁: every clock value is correct and every edge
+// has drift at most 1. From any configuration of Γ₁, all clocks are within
+// d_K-distance diam(g) of each other (the observation Theorem 1 builds on).
+func (p *Protocol) Legitimate(c sim.Config[int]) bool {
+	for v := 0; v < p.g.N(); v++ {
+		if !p.x.InStab(c[v]) {
+			return false
+		}
+		for _, u := range p.g.Neighbors(v) {
+			if u > v && p.x.DK(c[v], c[u]) > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IllegitimacyCount returns the number of vertices whose local Γ₁ predicate
+// fails — the coarse progress measure used in traces and by adversaries.
+func (p *Protocol) IllegitimacyCount(c sim.Config[int]) int {
+	count := 0
+	for v := 0; v < p.g.N(); v++ {
+		if !p.LocallyLegitimate(c, v) {
+			count++
+		}
+	}
+	return count
+}
+
+// SyncHorizon is the synchronous stabilization bound of Boulinier et al.
+// (Algorithmica 2008) the paper quotes in Case 3 of Theorem 2's proof:
+// unison reaches Γ₁ within α + lcp(g) + diam(g) synchronous steps.
+func (p *Protocol) SyncHorizon() int {
+	return p.x.Alpha + p.g.LCPBound() + p.g.Diameter()
+}
+
+// UnfairHorizonMoves is the move bound of Devismes–Petit (TADDS 2012) the
+// paper quotes for Theorem 3: unison reaches Γ₁ within
+// 2·diam·n³ + (α+1)·n² + (α − 2·diam)·n moves under ud.
+func (p *Protocol) UnfairHorizonMoves() int {
+	n, d, a := p.g.N(), p.g.Diameter(), p.x.Alpha
+	return 2*d*n*n*n + (a+1)*n*n + (a-2*d)*n
+}
+
+// DisorderPotential scores how far c is from Γ₁, for the greedy adversarial
+// daemons: each locally illegitimate vertex weighs heavily, and deep tail
+// values weigh by their remaining climb, so the adversary prefers schedules
+// that spread resets and keep tails low.
+func (p *Protocol) DisorderPotential(c sim.Config[int]) float64 {
+	score := 0.0
+	for v := 0; v < p.g.N(); v++ {
+		if !p.LocallyLegitimate(c, v) {
+			score += 1000
+		}
+		if c[v] < 0 {
+			score += float64(-c[v])
+		}
+	}
+	return score
+}
+
+// RandomLegitimateConfig samples a configuration of Γ₁: a random base value
+// plus a ±1-bounded drift assigned along a BFS from a random root, then
+// rejection-checked. It powers the closure and safety property tests.
+func (p *Protocol) RandomLegitimateConfig(rng *rand.Rand) sim.Config[int] {
+	n := p.g.N()
+	for {
+		c := make(sim.Config[int], n)
+		root := rng.Intn(n)
+		base := rng.Intn(p.x.K)
+		assigned := make([]bool, n)
+		c[root] = base
+		assigned[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range p.g.Neighbors(u) {
+				if assigned[v] {
+					continue
+				}
+				// Neighbor drift in {-1, 0, +1} around u's value.
+				c[v] = p.x.Mod(c[u] + rng.Intn(3) - 1)
+				assigned[v] = true
+				queue = append(queue, v)
+			}
+		}
+		if p.Legitimate(c) {
+			return c
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package unison implements the self-stabilizing asynchronous unison of
+// Boulinier, Petit and Villain (PODC 2004), exactly as reproduced in
+// Algorithm 1 of the paper: each vertex holds a register r_v over the
+// bounded clock cherry(α, K) and obeys three mutually exclusive rules,
+//
+//	NA :: normalStep_v   → r_v := φ(r_v)   (advance a locally minimal, locally correct clock)
+//	CA :: convergeStep_v → r_v := φ(r_v)   (climb the initial tail toward 0)
+//	RA :: resetInit_v    → r_v := −α       (reset upon local inconsistency)
+//
+// With α ≥ hole(g) − 2 the protocol recovers the legitimacy set Γ₁ (all
+// clocks correct, neighbor drift ≤ 1) in finite time under the unfair
+// distributed daemon, and with K > cyclo(g) every clock then increments
+// forever. SSME (internal/core) is this very protocol run on a larger clock
+// plus a privilege predicate, so everything here is shared substrate.
+package unison
+
+import (
+	"fmt"
+	"math/rand"
+
+	"specstab/internal/clock"
+	"specstab/internal/graph"
+	"specstab/internal/sim"
+)
+
+// Rule identifiers of Algorithm 1.
+const (
+	// RuleNA is the normal action: advance a correct, locally minimal clock.
+	RuleNA sim.Rule = iota + 1
+	// RuleCA is the converge action: climb the initial tail toward 0.
+	RuleCA
+	// RuleRA is the reset action: jump to −α upon local inconsistency.
+	RuleRA
+)
+
+// Protocol is the unison protocol bound to a graph and a bounded clock.
+// Its state type is int: the clock value held by each register r_v.
+type Protocol struct {
+	g *graph.Graph
+	x clock.Clock
+}
+
+// New builds the protocol after validating the clock parameters against the
+// graph's topology constants (exact values when the search completes, the
+// safe bound n otherwise — see internal/graph).
+func New(g *graph.Graph, x clock.Clock) (*Protocol, error) {
+	if err := ValidateParams(g, x); err != nil {
+		return nil, err
+	}
+	return &Protocol{g: g, x: x}, nil
+}
+
+// ValidateParams checks the convergence condition α ≥ hole(g) − 2 and the
+// liveness condition K > cyclo(g) from Boulinier et al.
+func ValidateParams(g *graph.Graph, x clock.Clock) error {
+	if hole := g.HoleBound(); x.Alpha < hole-2 {
+		return fmt.Errorf("unison: α=%d < hole(g)−2=%d on %s", x.Alpha, hole-2, g.Name())
+	}
+	if cyclo := g.CycloBound(); x.K <= cyclo {
+		// CycloBound may overshoot (it falls back to n); keep the paper's
+		// own safe instantiation K > n valid while still rejecting clocks
+		// that are definitely too small (K ≤ cyclo exact on trees/cycles).
+		if g.IsTree() || g.IsCycleGraph() {
+			return fmt.Errorf("unison: K=%d ≤ cyclo(g)=%d on %s", x.K, cyclo, g.Name())
+		}
+	}
+	return nil
+}
+
+// MinimalParams returns the smallest clock the Boulinier et al. conditions
+// allow for g, using exact hole/cyclo when computable: α = max(1, hole−2),
+// K = cyclo + 1. These are the tightest parameters internal tests exercise;
+// SSME deliberately uses the much larger paper parameters instead.
+func MinimalParams(g *graph.Graph) clock.Clock {
+	alpha := 1
+	if h, ok := g.Hole(); ok {
+		if h-2 > alpha {
+			alpha = h - 2
+		}
+	} else {
+		alpha = g.N()
+	}
+	k := g.CycloBound() + 1
+	if g.IsCycleGraph() {
+		k = g.N() + 1
+	}
+	if k < 2 {
+		k = 2
+	}
+	return clock.MustNew(alpha, k)
+}
+
+// SafeParams returns the paper's always-valid instantiation for arbitrary
+// graphs: α = n ≥ hole(g) − 2 and K = n + 2 > n ≥ cyclo(g).
+func SafeParams(g *graph.Graph) clock.Clock {
+	return clock.MustNew(g.N(), g.N()+2)
+}
+
+// Graph returns the communication graph.
+func (p *Protocol) Graph() *graph.Graph { return p.g }
+
+// Clock returns the bounded clock X = (cherry(α,K), φ).
+func (p *Protocol) Clock() clock.Clock { return p.x }
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("unison[%s]@%s", p.x, p.g.Name())
+}
+
+// N implements sim.Protocol.
+func (p *Protocol) N() int { return p.g.N() }
+
+// Correct is the paper's correct_v(u) ≡ r_v ∈ stabX ∧ r_u ∈ stabX ∧
+// d_K(r_v, r_u) ≤ 1.
+func (p *Protocol) Correct(c sim.Config[int], v, u int) bool {
+	return p.x.InStab(c[v]) && p.x.InStab(c[u]) && p.x.DK(c[v], c[u]) <= 1
+}
+
+// AllCorrect is allCorrect_v ≡ ∀u ∈ neig(v), correct_v(u). On graphs with
+// n ≥ 2 every vertex has a neighbor, so allCorrect implies r_v ∈ stabX; the
+// implementation checks r_v ∈ stabX explicitly so that the degenerate
+// single-vertex system keeps the rules mutually exclusive.
+func (p *Protocol) AllCorrect(c sim.Config[int], v int) bool {
+	if !p.x.InStab(c[v]) {
+		return false
+	}
+	for _, u := range p.g.Neighbors(v) {
+		if !p.Correct(c, v, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledRule implements sim.Protocol with the guards of Algorithm 1.
+func (p *Protocol) EnabledRule(c sim.Config[int], v int) (sim.Rule, bool) {
+	rv := c[v]
+	switch {
+	case p.normalStep(c, v):
+		return RuleNA, true
+	case p.convergeStep(c, v):
+		return RuleCA, true
+	case !p.AllCorrect(c, v) && !p.x.InInit(rv):
+		return RuleRA, true
+	default:
+		return sim.NoRule, false
+	}
+}
+
+// normalStep_v ≡ allCorrect_v ∧ (∀u ∈ neig(v), r_v ≤_l r_u).
+func (p *Protocol) normalStep(c sim.Config[int], v int) bool {
+	if !p.AllCorrect(c, v) {
+		return false
+	}
+	for _, u := range p.g.Neighbors(v) {
+		if !p.x.LeqL(c[v], c[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// convergeStep_v ≡ r_v ∈ init*X ∧ ∀u ∈ neig(v), (r_u ∈ initX ∧ r_v ≤init r_u).
+func (p *Protocol) convergeStep(c sim.Config[int], v int) bool {
+	if !p.x.InInitStar(c[v]) {
+		return false
+	}
+	for _, u := range p.g.Neighbors(v) {
+		if !p.x.InInit(c[u]) || c[v] > c[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements sim.Protocol.
+func (p *Protocol) Apply(c sim.Config[int], v int, r sim.Rule) int {
+	switch r {
+	case RuleNA, RuleCA:
+		return p.x.Phi(c[v])
+	case RuleRA:
+		return p.x.Reset()
+	default:
+		panic(fmt.Sprintf("unison: apply of unknown rule %d at vertex %d", r, v))
+	}
+}
+
+// RandomState implements sim.Protocol: a uniformly random cherry value
+// (the register domain is the same at every vertex).
+func (p *Protocol) RandomState(_ int, rng *rand.Rand) int { return p.x.Random(rng) }
+
+// RuleName implements sim.Protocol.
+func (p *Protocol) RuleName(r sim.Rule) string {
+	switch r {
+	case RuleNA:
+		return "NA"
+	case RuleCA:
+		return "CA"
+	case RuleRA:
+		return "RA"
+	default:
+		return fmt.Sprintf("rule(%d)", r)
+	}
+}
+
+var _ sim.Protocol[int] = (*Protocol)(nil)
