@@ -1,8 +1,10 @@
 // The benchmark harness regenerating the paper's evaluation: one benchmark
-// per experiment of DESIGN.md §4 (BenchmarkE1…BenchmarkE8 wrap the
+// per experiment of DESIGN.md §4 (BenchmarkE1…BenchmarkE12 wrap the
 // internal/experiments tables; each b.N iteration regenerates the full
 // table set for that claim), plus micro-benchmarks of the substrate's hot
-// paths (clock arithmetic, guard evaluation, engine steps).
+// paths (clock arithmetic, guard evaluation, engine steps) and the
+// engine-locality scaling sweeps (BenchmarkStepIncremental vs
+// BenchmarkStepFullRescan, reporting guard-evals/step).
 //
 // Run with:
 //
@@ -13,12 +15,14 @@
 package specstab_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"specstab/internal/clock"
 	"specstab/internal/core"
 	"specstab/internal/daemon"
+	"specstab/internal/dijkstra"
 	"specstab/internal/experiments"
 	"specstab/internal/graph"
 	"specstab/internal/sim"
@@ -75,6 +79,9 @@ func BenchmarkE10FaultStorm(b *testing.B) { benchExperiment(b, "e10") }
 
 // BenchmarkE11LExclusion regenerates the ℓ-exclusion extension table.
 func BenchmarkE11LExclusion(b *testing.B) { benchExperiment(b, "e11") }
+
+// BenchmarkE12Scaling regenerates the engine-locality scaling table.
+func BenchmarkE12Scaling(b *testing.B) { benchExperiment(b, "e12") }
 
 // --- substrate micro-benchmarks ---
 
@@ -153,6 +160,68 @@ func BenchmarkDiameterAPSP(b *testing.B) {
 		g := graph.Torus(8, 8)
 		if g.Diameter() != 8 {
 			b.Fatal("wrong diameter")
+		}
+	}
+}
+
+// --- engine locality scaling benchmarks (the tentpole measurement) ---
+
+// benchEngineStep measures one central-daemon engine step of Dijkstra's
+// ring at scale, reporting guard-evaluations-per-step as a custom metric.
+// With incremental=true the engine exploits the protocol's sim.Local
+// declaration (O(Δ·deg) guard evaluations per step); with false it rescans
+// every guard (O(N)). Executions are identical either way.
+func benchEngineStep(b *testing.B, n int, incremental bool) {
+	b.Helper()
+	p := dijkstra.MustNew(n, n)
+	rng := rand.New(rand.NewSource(1))
+	e := sim.MustEngine[int](p, daemon.NewRandomCentral[int](), sim.RandomConfig[int](p, rng), 1)
+	if !incremental {
+		e.DisableIncremental()
+	}
+	start := e.GuardEvals()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(e.GuardEvals()-start)/float64(b.N), "guard-evals/step")
+}
+
+// BenchmarkStepIncremental sweeps ring sizes 1k–64k with the incremental
+// enabled-set tracker.
+func BenchmarkStepIncremental(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) { benchEngineStep(b, n, true) })
+	}
+}
+
+// BenchmarkStepFullRescan is the same sweep with full guard rescans — the
+// pre-locality engine behavior, kept as the baseline the scaling claims
+// are measured against.
+func BenchmarkStepFullRescan(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) { benchEngineStep(b, n, false) })
+	}
+}
+
+// BenchmarkSyncStepRing4096Incremental measures the synchronous-daemon
+// step at scale on SSME (all enabled vertices fire each step, so the dirty
+// set is the whole frontier — the tracker's worst case must not regress
+// the hot path).
+func BenchmarkSyncStepRing4096Incremental(b *testing.B) {
+	g := graph.Ring(4096)
+	p := core.MustNew(g)
+	initial, err := p.UniformConfig(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,12 +1,14 @@
 // Command specbench regenerates the paper's "evaluation": every experiment
-// of DESIGN.md §4 (E1–E8), printed as plain-text tables or CSV.
+// of DESIGN.md §4 (E1–E12), printed as plain-text tables or CSV.
 //
 // Usage:
 //
-//	specbench [-experiment e3] [-quick] [-seed 42] [-csv]
+//	specbench [-experiment e3] [-quick] [-seed 42] [-csv] [-workers 8]
 //
-// Without -experiment the full suite runs in order. EXPERIMENTS.md records
-// a full run next to the paper's claims.
+// Without -experiment the full suite runs in order. Independent trials run
+// on a worker pool (-workers, default GOMAXPROCS); tables are bitwise
+// identical for every worker count. EXPERIMENTS.md records a quick run
+// next to the paper's claims.
 package main
 
 import (
@@ -26,14 +28,15 @@ func main() {
 
 func run() error {
 	var (
-		expID = flag.String("experiment", "", "experiment id (e1..e8); empty runs all")
-		quick = flag.Bool("quick", false, "reduced sizes and trial counts")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		expID   = flag.String("experiment", "", "experiment id (e1..e12); empty runs all")
+		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
 	)
 	flag.Parse()
 
-	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed}
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers}
 	list := experiments.Registry()
 	if *expID != "" {
 		exp, err := experiments.ByID(*expID)

@@ -8,8 +8,22 @@
 // asynchronous unison (Section 4), and the synchronous lower bound
 // construction (Section 5).
 //
-// The library lives under internal/ (see DESIGN.md for the inventory);
+// The library lives under internal/ (see DESIGN.md §2 for the inventory);
 // runnable entry points are under cmd/ and examples/; the benchmark harness
 // regenerating every paper claim is bench_test.go together with
-// internal/experiments.
+// internal/experiments, whose measured outcomes EXPERIMENTS.md records
+// next to the paper's claims.
+//
+// Two substrate capabilities make the harness scale (DESIGN.md §6–§7):
+//
+//   - Engine locality: protocols declare their guard read-sets via
+//     sim.Local (Neighbors must be the guard's read-set closure), and the
+//     engine maintains the enabled set incrementally — O(Δ·avg-degree)
+//     guard evaluations per step instead of O(N), with executions bitwise
+//     identical to a full rescan (differential-tested for every protocol
+//     under every daemon).
+//   - Parallel trials: internal/experiments fans independent seeded trials
+//     over a worker pool (one Engine+Daemon per worker); per-trial seeds
+//     are fixed before the fan-out and results fold in trial order, so
+//     tables are identical for every worker count.
 package specstab

@@ -1,0 +1,3 @@
+module specstab
+
+go 1.24

@@ -122,6 +122,17 @@ func (p *Protocol) RuleName(r sim.Rule) string {
 
 var _ sim.Protocol[int] = (*Protocol)(nil)
 
+// Neighbors implements sim.Local: the root's guard reads only its own
+// level, every other vertex's guard reads min over its graph neighbors.
+func (p *Protocol) Neighbors(v int) []int {
+	if v == p.root {
+		return nil
+	}
+	return p.g.Neighbors(v)
+}
+
+var _ sim.Local = (*Protocol)(nil)
+
 // Correct reports whether c assigns every vertex its true BFS distance
 // from the root — the silent protocol's unique terminal configuration.
 func (p *Protocol) Correct(c sim.Config[int]) bool {

@@ -24,6 +24,7 @@ package compose
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"specstab/internal/sim"
 )
@@ -198,3 +199,36 @@ func (p *Product[A, B]) RuleName(r sim.Rule) string {
 }
 
 var _ sim.Protocol[Pair[int, int]] = (*Product[int, int])(nil)
+
+// Local implements the sim locality hook: a product vertex's guard reads
+// the union of the component read-sets, so the product declares locality
+// exactly when both components do. Component lists are merged once into
+// explicit adjacency lists; products of products compose transparently.
+func (p *Product[A, B]) Local() (sim.Local, bool) {
+	la, lb := sim.LocalOf(p.a), sim.LocalOf(p.b)
+	if la == nil || lb == nil {
+		return nil, false
+	}
+	lists := make(sim.NeighborLists, p.N())
+	for v := range lists {
+		lists[v] = sortedUnion(la.Neighbors(v), lb.Neighbors(v))
+	}
+	return lists, true
+}
+
+// sortedUnion merges two neighbor lists into a fresh sorted duplicate-free
+// slice (inputs need not be sorted per the sim.Local contract).
+func sortedUnion(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	w := 0
+	for i, x := range out {
+		if i == 0 || x != out[w-1] {
+			out[w] = x
+			w++
+		}
+	}
+	return out[:w]
+}

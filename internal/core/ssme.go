@@ -117,6 +117,12 @@ func (p *Protocol) RuleName(r sim.Rule) string { return p.uni.RuleName(r) }
 
 var _ sim.Protocol[int] = (*Protocol)(nil)
 
+// Neighbors implements sim.Local by delegating to unison: SSME's guards
+// are unison's guards, so its read-sets are unison's read-sets.
+func (p *Protocol) Neighbors(v int) []int { return p.uni.Neighbors(v) }
+
+var _ sim.Local = (*Protocol)(nil)
+
 // PrivilegeValue returns the unique clock value at which vertex v is
 // privileged: 2n + 2·diam(g)·id_v. Consecutive identities are 2·diam(g)
 // apart on the ring and the wrap-around gap (from id n−1 back to id 0) is

@@ -127,6 +127,20 @@ func (p *Protocol) RuleName(r sim.Rule) string {
 
 var _ sim.Protocol[int] = (*Protocol)(nil)
 
+// Neighbors implements sim.Local with the protocol's directed read-set:
+// vertex v reads only its ring predecessor (vertex 0 reads n−1), not both
+// ring neighbors — the unidirectional structure Dijkstra's rules rely on.
+// An engine therefore re-evaluates only an activated vertex and its
+// successor after each step.
+func (p *Protocol) Neighbors(v int) []int {
+	if v == 0 {
+		return []int{p.n - 1}
+	}
+	return []int{v - 1}
+}
+
+var _ sim.Local = (*Protocol)(nil)
+
 // Privileged reports whether v holds a privilege in c (its rule is
 // enabled) — Dijkstra's notion of the token.
 func (p *Protocol) Privileged(c sim.Config[int], v int) bool {

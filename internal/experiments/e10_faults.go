@@ -49,17 +49,21 @@ func E10FaultStorm(cfg RunConfig) ([]*stats.Table, error) {
 				Safe:         p.SafeME,
 				HorizonSteps: sc.horizon,
 			}
+			// Each trial owns an rng (salted by trial index), so whole
+			// scenario runs fan out; recoveries fold in trial order.
+			trialRecs, err := forTrials(cfg, trials, func(trial int) ([]faults.Recovery, error) {
+				rng := cfg.rng(int64(19*g.N() + trial))
+				initial := sim.RandomConfig[int](p, rng)
+				return scenario.Run(initial, bursts, int64(trial+1))
+			})
+			if err != nil {
+				return nil, fmt.Errorf("e10 on %s: %w", g.Name(), err)
+			}
 			recovered := 0
 			total := 0
 			worstSteps, worstMoves := 0, 0
 			closureOK := true
-			for trial := 0; trial < trials; trial++ {
-				rng := cfg.rng(int64(19*g.N() + trial))
-				initial := sim.RandomConfig[int](p, rng)
-				recs, err := scenario.Run(initial, bursts, int64(trial+1))
-				if err != nil {
-					return nil, fmt.Errorf("e10 on %s: %w", g.Name(), err)
-				}
+			for _, recs := range trialRecs {
 				for _, rec := range recs {
 					total++
 					if rec.Recovered {
@@ -72,6 +76,7 @@ func E10FaultStorm(cfg RunConfig) ([]*stats.Table, error) {
 					worstMoves = maxInt(worstMoves, rec.MovesToLegit)
 				}
 			}
+
 			table.AddRow(g.Name(), sc.name, total,
 				fmt.Sprintf("%d/%d", recovered, total),
 				worstSteps, worstMoves, ok(closureOK && recovered == total))

@@ -39,18 +39,24 @@ func E11LExclusion(cfg RunConfig) ([]*stats.Table, error) {
 			}
 			rng := cfg.rng(int64(23*g.N() + l))
 
+			initials := make([]sim.Config[int], trials)
+			for t := range initials {
+				initials[t] = sim.RandomConfig[int](p, rng)
+			}
+			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
+				e, err := sim.NewEngine[int](p, daemon.NewSynchronous[int](), initials[t], 1)
+				if err != nil {
+					return runOutcome{}, err
+				}
+				return measureRun(e, p.ServiceWindow(), p.Clock().K, p.SafeLX, p.Legitimate)
+			})
+			if err != nil {
+				return nil, err
+			}
 			worstConc := 0
 			worstConv := 0
 			closureOK := true
-			for trial := 0; trial < trials; trial++ {
-				e, err := sim.NewEngine[int](p, daemon.NewSynchronous[int](), sim.RandomConfig[int](p, rng), 1)
-				if err != nil {
-					return nil, err
-				}
-				out, err := measureRun(e, p.ServiceWindow(), p.Clock().K, p.SafeLX, p.Legitimate)
-				if err != nil {
-					return nil, err
-				}
+			for _, out := range outs {
 				closureOK = closureOK && out.closureOK && out.legitReached
 				if out.convSteps > worstConv {
 					worstConv = out.convSteps

@@ -36,21 +36,25 @@ func E2SelfStabilization(cfg RunConfig) ([]*stats.Table, error) {
 		horizon := p.UnfairBoundMoves() // every step ≥ 1 move, so a valid step horizon
 		rng := cfg.rng(int64(g.N()))
 		for _, mk := range daemons {
+			name := mk().Name()
+			initials := make([]sim.Config[int], trials)
+			for t := range initials {
+				initials[t] = sim.RandomConfig[int](p, rng)
+			}
+			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
+				e, err := sim.NewEngine[int](p, mk(), initials[t], int64(t+1))
+				if err != nil {
+					return runOutcome{}, err
+				}
+				return measureRun(e, horizon, p.Clock().K, p.SafeME, p.Legitimate)
+			})
+			if err != nil {
+				return nil, err
+			}
 			var worst runOutcome
-			name := ""
 			closureOK := true
 			allLegit := true
-			for trial := 0; trial < trials; trial++ {
-				d := mk()
-				name = d.Name()
-				e, err := sim.NewEngine[int](p, d, sim.RandomConfig[int](p, rng), int64(trial+1))
-				if err != nil {
-					return nil, err
-				}
-				out, err := measureRun(e, horizon, p.Clock().K, p.SafeME, p.Legitimate)
-				if err != nil {
-					return nil, err
-				}
+			for _, out := range outs {
 				closureOK = closureOK && out.closureOK
 				allLegit = allLegit && out.legitReached
 				if out.convSteps > worst.convSteps {

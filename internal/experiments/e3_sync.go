@@ -26,12 +26,18 @@ func E3SyncConvergence(cfg RunConfig) ([]*stats.Table, error) {
 		bound := core.SyncBound(g)
 		rng := cfg.rng(int64(2 * g.N()))
 
+		initials := make([]sim.Config[int], trials)
+		for t := range initials {
+			initials[t] = sim.RandomConfig[int](p, rng)
+		}
+		reps, err := forTrials(cfg, trials, func(t int) (sim.RunReport, error) {
+			return p.MeasureSync(initials[t])
+		})
+		if err != nil {
+			return nil, err
+		}
 		worstRandom, worstLegitEntry := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			rep, err := p.MeasureSync(sim.RandomConfig[int](p, rng))
-			if err != nil {
-				return nil, err
-			}
+		for _, rep := range reps {
 			if rep.ConvergenceSteps > worstRandom {
 				worstRandom = rep.ConvergenceSteps
 			}
@@ -40,16 +46,18 @@ func E3SyncConvergence(cfg RunConfig) ([]*stats.Table, error) {
 			}
 		}
 
-		worstIsland := 0
-		for t := 0; t <= p.MaxDoublePrivilegeStep(); t++ {
+		islandReps, err := forTrials(cfg, p.MaxDoublePrivilegeStep()+1, func(t int) (sim.RunReport, error) {
 			initial, err := p.DoublePrivilegeConfig(t)
 			if err != nil {
-				return nil, err
+				return sim.RunReport{}, err
 			}
-			rep, err := p.MeasureSync(initial)
-			if err != nil {
-				return nil, err
-			}
+			return p.MeasureSync(initial)
+		})
+		if err != nil {
+			return nil, err
+		}
+		worstIsland := 0
+		for _, rep := range islandReps {
 			if rep.ConvergenceSteps > worstIsland {
 				worstIsland = rep.ConvergenceSteps
 			}

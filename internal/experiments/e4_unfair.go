@@ -36,25 +36,34 @@ func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
 		worst := 0
 		closureOK := true
 		rng := cfg.rng(int64(3 * n))
-		daemons := []sim.Daemon[int]{
-			daemon.NewRandomCentral[int](),
-			daemon.NewMinIDCentral[int](),
-			daemon.NewDistributed[int](0.3),
-			daemon.NewGreedyCentral[int](p, p.DisorderPotential),
-			daemon.NewLookahead[int](p, p.DisorderPotential, 3),
+		// Daemon factories: greedy/lookahead daemons carry scratch buffers
+		// and each parallel trial needs a private instance.
+		daemons := []func() sim.Daemon[int]{
+			func() sim.Daemon[int] { return daemon.NewRandomCentral[int]() },
+			func() sim.Daemon[int] { return daemon.NewMinIDCentral[int]() },
+			func() sim.Daemon[int] { return daemon.NewDistributed[int](0.3) },
+			func() sim.Daemon[int] { return daemon.NewGreedyCentral[int](p, p.DisorderPotential) },
+			func() sim.Daemon[int] { return daemon.NewLookahead[int](p, p.DisorderPotential, 3) },
 		}
-		for _, d := range daemons {
-			for trial := 0; trial < trials; trial++ {
-				e, err := sim.NewEngine[int](p, d, sim.RandomConfig[int](p, rng), int64(trial+1))
+		for _, mk := range daemons {
+			name := mk().Name()
+			initials := make([]sim.Config[int], trials)
+			for t := range initials {
+				initials[t] = sim.RandomConfig[int](p, rng)
+			}
+			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
+				e, err := sim.NewEngine[int](p, mk(), initials[t], int64(t+1))
 				if err != nil {
-					return nil, err
+					return runOutcome{}, err
 				}
-				out, err := measureRun(e, bound, p.Clock().K, p.SafeME, p.Legitimate)
-				if err != nil {
-					return nil, err
-				}
+				return measureRun(e, bound, p.Clock().K, p.SafeME, p.Legitimate)
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, out := range outs {
 				if !out.legitReached {
-					table.AddNote("n=%d under %s: Γ₁ not reached within the Theorem 3 bound — VIOLATION", n, d.Name())
+					table.AddNote("n=%d under %s: Γ₁ not reached within the Theorem 3 bound — VIOLATION", n, name)
 					closureOK = false
 					continue
 				}

@@ -36,13 +36,19 @@ func E7Unison(cfg RunConfig) ([]*stats.Table, error) {
 			udBound := u.UnfairHorizonMoves()
 			rng := cfg.rng(int64(13 * g.N()))
 
+			syncInitials := make([]sim.Config[int], trials)
+			for t := range syncInitials {
+				syncInitials[t] = sim.RandomConfig[int](u, rng)
+			}
+			syncOuts, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
+				e := sim.MustEngine[int](u, daemon.NewSynchronous[int](), syncInitials[t], 1)
+				return measureRun(e, syncBound, u.Clock().K, u.Legitimate, u.Legitimate)
+			})
+			if err != nil {
+				return nil, err
+			}
 			worstSync := 0
-			for trial := 0; trial < trials; trial++ {
-				e := sim.MustEngine[int](u, daemon.NewSynchronous[int](), sim.RandomConfig[int](u, rng), 1)
-				out, err := measureRun(e, syncBound, u.Clock().K, u.Legitimate, u.Legitimate)
-				if err != nil {
-					return nil, err
-				}
+			for _, out := range syncOuts {
 				if !out.legitReached {
 					worstSync = syncBound + 1 // visible violation
 					break
@@ -53,18 +59,25 @@ func E7Unison(cfg RunConfig) ([]*stats.Table, error) {
 			}
 
 			worstMoves := 0
-			udDaemons := []sim.Daemon[int]{
-				daemon.NewRandomCentral[int](),
-				daemon.NewDistributed[int](0.4),
-				daemon.NewGreedyCentral[int](u, u.DisorderPotential),
+			udDaemons := []func() sim.Daemon[int]{
+				func() sim.Daemon[int] { return daemon.NewRandomCentral[int]() },
+				func() sim.Daemon[int] { return daemon.NewDistributed[int](0.4) },
+				func() sim.Daemon[int] { return daemon.NewGreedyCentral[int](u, u.DisorderPotential) },
 			}
-			for _, d := range udDaemons {
-				for trial := 0; trial < cfg.pick(2, 5); trial++ {
-					e := sim.MustEngine[int](u, d, sim.RandomConfig[int](u, rng), int64(trial+1))
-					out, err := measureRun(e, udBound, u.Clock().K, u.Legitimate, u.Legitimate)
-					if err != nil {
-						return nil, err
-					}
+			udTrials := cfg.pick(2, 5)
+			for _, mk := range udDaemons {
+				initials := make([]sim.Config[int], udTrials)
+				for t := range initials {
+					initials[t] = sim.RandomConfig[int](u, rng)
+				}
+				outs, err := forTrials(cfg, udTrials, func(t int) (runOutcome, error) {
+					e := sim.MustEngine[int](u, mk(), initials[t], int64(t+1))
+					return measureRun(e, udBound, u.Clock().K, u.Legitimate, u.Legitimate)
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, out := range outs {
 					if !out.legitReached {
 						worstMoves = udBound + 1
 						break

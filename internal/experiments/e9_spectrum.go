@@ -66,25 +66,38 @@ func E9DaemonSpectrum(cfg RunConfig) ([]*stats.Table, error) {
 			{kSD, func() sim.Daemon[int] { return daemon.NewSynchronous[int]() }},
 		}
 		for _, d := range daemons {
-			worstSteps, worstMoves, worstRounds := 0, 0, 0
-			name := ""
-			for trial, initial := range initials {
-				dm := d.mk()
-				name = dm.Name()
-				e, err := sim.NewEngine[int](p, dm, initial, int64(trial+1))
+			name := d.mk().Name()
+			type spectrumOutcome struct {
+				legit                bool
+				steps, moves, rounds int
+			}
+			outs, err := forTrials(cfg, trials, func(t int) (spectrumOutcome, error) {
+				e, err := sim.NewEngine[int](p, d.mk(), initials[t], int64(t+1))
 				if err != nil {
-					return nil, err
+					return spectrumOutcome{}, err
 				}
 				if _, err := e.Run(p.UnfairBoundMoves(), p.Legitimate); err != nil {
-					return nil, err
+					return spectrumOutcome{}, err
 				}
-				if !p.Legitimate(e.Current()) {
+				return spectrumOutcome{
+					legit:  p.Legitimate(e.Current()),
+					steps:  e.Steps(),
+					moves:  e.Moves(),
+					rounds: e.Rounds(),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			worstSteps, worstMoves, worstRounds := 0, 0, 0
+			for _, out := range outs {
+				if !out.legit {
 					table.AddNote("n=%d under %s: Γ₁ not reached — VIOLATED", n, name)
 					continue
 				}
-				worstSteps = maxInt(worstSteps, e.Steps())
-				worstMoves = maxInt(worstMoves, e.Moves())
-				worstRounds = maxInt(worstRounds, e.Rounds())
+				worstSteps = maxInt(worstSteps, out.steps)
+				worstMoves = maxInt(worstMoves, out.moves)
+				worstRounds = maxInt(worstRounds, out.rounds)
 			}
 			table.AddRow(n, name, worstSteps, worstMoves, worstRounds)
 			curves[d.key] = append(curves[d.key], speculation.CurvePoint{Size: n, Conv: float64(worstSteps)})

@@ -4,7 +4,11 @@
 // benchmarks, and EXPERIMENTS.md records the measured outcomes next to the
 // paper's claims.
 //
-// All experiments are deterministic given RunConfig.Seed.
+// Independent seeded trials fan out over a worker pool (RunConfig.Workers,
+// see parallel.go): per-trial randomness is fixed before the fan-out and
+// results fold in trial order, so all experiments are deterministic given
+// RunConfig.Seed for every worker count — E12's wall-clock columns
+// excepted, as timings necessarily vary between runs.
 package experiments
 
 import (
@@ -23,6 +27,10 @@ type RunConfig struct {
 	Quick bool
 	// Seed drives all randomness (default 1 if zero).
 	Seed int64
+	// Workers caps the trial worker pool (0 = GOMAXPROCS). Tables are
+	// bitwise identical for every value — trials are seeded
+	// deterministically and folded in trial order (see parallel.go).
+	Workers int
 }
 
 func (c RunConfig) seed() int64 {
@@ -67,6 +75,7 @@ func Registry() []Experiment {
 		{ID: "e9", Title: "Extension — daemon spectrum (multi-daemon Definition 4)", Run: E9DaemonSpectrum},
 		{ID: "e10", Title: "Extension — fault bursts and re-stabilization", Run: E10FaultStorm},
 		{ID: "e11", Title: "Extension — ℓ-exclusion via privilege groups", Run: E11LExclusion},
+		{ID: "e12", Title: "Substrate — engine locality scaling (incremental vs full rescan)", Run: E12Scaling},
 	}
 }
 

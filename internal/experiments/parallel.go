@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel trial execution. Independent seeded trials of an experiment are
+// fanned out over a worker pool, one Engine+Daemon per worker invocation.
+// Determinism is preserved by construction (see DESIGN.md §7):
+//
+//   - every per-trial randomness source is fixed before the fan-out: the
+//     shared experiment rng draws all initial configurations sequentially
+//     in trial order, and engine seeds derive from the trial index alone;
+//   - results come back indexed by trial and are folded sequentially in
+//     trial order, so aggregation (worst-of, notes, early-exit semantics)
+//     does not depend on completion order;
+//   - on error, the error of the lowest-numbered failing trial is
+//     returned.
+//
+// Hence the tables are bitwise identical for every worker count, including
+// Workers=1 (the sequential run).
+
+// workerCount resolves RunConfig.Workers against the task size.
+func (c RunConfig) workerCount(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forTrials runs fn(0..n-1) on cfg's worker pool and returns the results
+// in trial order. fn must not touch the experiment's shared rng — draw any
+// randomness beforehand and capture it by index.
+func forTrials[T any](cfg RunConfig, n int, fn func(trial int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := cfg.workerCount(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+		return out, firstError(errs)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+// firstError returns the error of the lowest index, keeping the error path
+// deterministic across worker counts.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// render flattens an experiment's tables for comparison.
+func render(t *testing.T, id string, cfg RunConfig) string {
+	t.Helper()
+	exp, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := exp.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString(tb.String())
+	}
+	return b.String()
+}
+
+// TestWorkerCountInvariance is the parallel-harness determinism guarantee:
+// the tables must be bitwise identical whether trials run sequentially
+// (Workers=1) or on a saturated pool — per-trial seeds are fixed before
+// the fan-out and results fold in trial order.
+func TestWorkerCountInvariance(t *testing.T) {
+	t.Parallel()
+	// E2 (trial fan-out per daemon), E4 (daemon factories), E7 (two-stage
+	// fan-out with early-exit fold), E10 (whole-scenario trials) cover
+	// every fan-out shape the harness uses.
+	for _, id := range []string{"e2", "e4", "e7", "e10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			sequential := render(t, id, RunConfig{Quick: true, Seed: 11, Workers: 1})
+			parallel := render(t, id, RunConfig{Quick: true, Seed: 11, Workers: 8})
+			if sequential != parallel {
+				t.Errorf("%s tables differ between Workers=1 and Workers=8", id)
+			}
+		})
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	t.Parallel()
+	cfg := RunConfig{}
+	if w := cfg.workerCount(4); w < 1 {
+		t.Errorf("default worker count %d < 1", w)
+	}
+	if w := (RunConfig{Workers: 16}).workerCount(3); w != 3 {
+		t.Errorf("worker count not capped by task size: got %d, want 3", w)
+	}
+	if w := (RunConfig{Workers: 2}).workerCount(100); w != 2 {
+		t.Errorf("explicit worker count not honored: got %d, want 2", w)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an immutable simple connected undirected graph. Vertices are the
@@ -30,10 +31,13 @@ type Graph struct {
 	m    int
 
 	// Lazily computed metric caches (nil/0 until first use). A Graph is
-	// logically immutable, so the caches are memoized on first access.
-	dist [][]int16
-	diam int
-	ecc  []int
+	// logically immutable, so the caches are memoized on first access;
+	// distOnce makes that first access safe under the concurrent engines
+	// of the parallel experiment harness.
+	distOnce sync.Once
+	dist     [][]int16
+	diam     int
+	ecc      []int
 }
 
 // New builds a graph with n vertices from an edge list. It rejects

@@ -6,9 +6,10 @@ package graph
 // and the APSP matrix dominates the memory footprint for dense sweeps).
 
 func (g *Graph) ensureDist() {
-	if g.dist != nil {
-		return
-	}
+	g.distOnce.Do(g.computeDist)
+}
+
+func (g *Graph) computeDist() {
 	n := g.N()
 	dist := make([][]int16, n)
 	ecc := make([]int, n)

@@ -107,6 +107,11 @@ func (p *Protocol) RuleName(r sim.Rule) string { return p.uni.RuleName(r) }
 
 var _ sim.Protocol[int] = (*Protocol)(nil)
 
+// Neighbors implements sim.Local (unison's read-set: the graph adjacency).
+func (p *Protocol) Neighbors(v int) []int { return p.uni.Neighbors(v) }
+
+var _ sim.Local = (*Protocol)(nil)
+
 // Group returns v's privilege group ⌊id_v/ℓ⌋.
 func (p *Protocol) Group(v int) int { return v / p.l }
 

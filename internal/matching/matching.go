@@ -176,6 +176,13 @@ func (p *Protocol) RuleName(r sim.Rule) string {
 
 var _ sim.Protocol[State] = (*Protocol)(nil)
 
+// Neighbors implements sim.Local: every MMPT guard (PRmarried, proposer
+// search, seduction target, abandonment test) reads only the pointer/flag
+// pairs of v's graph neighbors.
+func (p *Protocol) Neighbors(v int) []int { return p.g.Neighbors(v) }
+
+var _ sim.Local = (*Protocol)(nil)
+
 // Matched returns the matching encoded by the mutual pointers of c,
 // as edges {u, v} with u < v.
 func (p *Protocol) Matched(c sim.Config[State]) [][2]int {

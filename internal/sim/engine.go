@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // StepInfo describes one executed step for hooks and traces.
@@ -25,6 +26,13 @@ type Hook func(StepInfo)
 // given the same protocol, daemon, initial configuration and seed, it
 // replays the same execution (daemon randomness is drawn from the engine's
 // seeded generator).
+//
+// When the protocol declares its guard read-sets (the Local capability),
+// the engine maintains the enabled set incrementally: after each step only
+// the activated vertices and the vertices that read them are re-evaluated,
+// O(Δ·avg-degree) guard evaluations per step instead of O(N). Executions
+// are bitwise identical either way — the tracker is exact, not a heuristic
+// (the differential tests assert this across every protocol and daemon).
 type Engine[S comparable] struct {
 	p   Protocol[S]
 	d   Daemon[S]
@@ -38,11 +46,28 @@ type Engine[S comparable] struct {
 	// Round accounting: a round is a minimal execution segment in which
 	// every vertex enabled at the segment's start is activated or
 	// observed disabled — the standard asynchronous time measure of the
-	// self-stabilization literature. owed tracks the vertices from the
-	// current round's start that have not yet been discharged.
-	rounds    int
-	owed      []bool
-	owedCount int
+	// self-stabilization literature. owed marks the vertices from the
+	// current round's start that have not yet been discharged; owedList
+	// holds the same set as a compacting list so that settlement costs
+	// O(|owed|) per step, not O(N).
+	rounds   int
+	owed     []bool
+	owedList []int
+
+	// Incremental enabled-set maintenance (nil/empty without Local):
+	// influence[v] is {v} ∪ {u : v ∈ Neighbors(u)}, isEnabled mirrors the
+	// maintained enabled list, dirty/dirtyMark are per-step scratch.
+	loc        Local
+	influence  [][]int
+	isEnabled  []bool
+	dirty      []int
+	dirtyMark  []bool
+	enabledAlt []int // spare buffer the merge writes into
+
+	// guardEvals counts EnabledRule calls made by the engine itself
+	// (rescans, incremental refreshes, rule lookups, round settlement).
+	// Guard evaluations a daemon performs internally are not included.
+	guardEvals int64
 
 	// Scratch buffers reused across steps.
 	enabled  []int
@@ -53,6 +78,8 @@ type Engine[S comparable] struct {
 
 // NewEngine creates an engine executing p under d starting from initial.
 // The initial configuration is cloned; seed fixes all daemon randomness.
+// If p declares the Local capability the engine starts in incremental
+// mode; DisableIncremental reverts to full rescans.
 func NewEngine[S comparable](p Protocol[S], d Daemon[S], initial Config[S], seed int64) (*Engine[S], error) {
 	if err := Validate(p, initial); err != nil {
 		return nil, err
@@ -65,47 +92,88 @@ func NewEngine[S comparable](p Protocol[S], d Daemon[S], initial Config[S], seed
 		owed:    make([]bool, p.N()),
 		enabled: make([]int, 0, p.N()),
 	}
+	if l := LocalOf(p); l != nil {
+		e.loc = l
+		e.influence = influenceSets(p.N(), l)
+		e.isEnabled = make([]bool, p.N())
+		e.dirtyMark = make([]bool, p.N())
+		e.seedEnabled()
+	}
 	e.startRound()
 	return e, nil
 }
 
+// seedEnabled performs the one full guard scan incremental mode needs: it
+// fills isEnabled and the maintained enabled list from the initial
+// configuration. Every later update is a dirty-set refresh.
+func (e *Engine[S]) seedEnabled() {
+	e.enabled = e.enabled[:0]
+	for v := 0; v < e.p.N(); v++ {
+		_, ok := e.evalGuard(v)
+		e.isEnabled[v] = ok
+		if ok {
+			e.enabled = append(e.enabled, v)
+		}
+	}
+}
+
+// evalGuard is EnabledRule with accounting.
+func (e *Engine[S]) evalGuard(v int) (Rule, bool) {
+	e.guardEvals++
+	return e.p.EnabledRule(e.cfg, v)
+}
+
+// rescan recomputes the enabled list with a full guard sweep (the
+// non-incremental path).
+func (e *Engine[S]) rescan() []int {
+	e.guardEvals += int64(e.p.N())
+	e.enabled = Enabled(e.p, e.cfg, e.enabled)
+	return e.enabled
+}
+
 // startRound charges the current enabled set to the new round.
 func (e *Engine[S]) startRound() {
-	e.owedCount = 0
-	for v := range e.owed {
-		e.owed[v] = false
-	}
-	for _, v := range Enabled(e.p, e.cfg, e.enabled[:0]) {
+	e.owedList = append(e.owedList[:0], e.Enabled()...)
+	for _, v := range e.owedList {
 		e.owed[v] = true
-		e.owedCount++
 	}
 }
 
 // settleRound discharges owed vertices after a step: a vertex is settled
 // once it has been activated or is observed disabled. When all are
-// settled, a round completes and the next one is charged.
+// settled, a round completes and the next one is charged. The owed list is
+// compacted in place, so settlement touches only the vertices still owed.
 func (e *Engine[S]) settleRound(activated []int) {
 	for _, v := range activated {
-		if e.owed[v] {
+		e.owed[v] = false
+	}
+	w := 0
+	for _, v := range e.owedList {
+		if !e.owed[v] {
+			continue
+		}
+		if !e.vertexEnabled(v) {
 			e.owed[v] = false
-			e.owedCount--
+			continue
 		}
+		e.owedList[w] = v
+		w++
 	}
-	if e.owedCount > 0 {
-		for v := range e.owed {
-			if !e.owed[v] {
-				continue
-			}
-			if _, ok := e.p.EnabledRule(e.cfg, v); !ok {
-				e.owed[v] = false
-				e.owedCount--
-			}
-		}
-	}
-	if e.owedCount == 0 {
+	e.owedList = e.owedList[:w]
+	if w == 0 {
 		e.rounds++
 		e.startRound()
 	}
+}
+
+// vertexEnabled reports v's current enabledness: a free lookup in
+// incremental mode, a (counted) guard evaluation otherwise.
+func (e *Engine[S]) vertexEnabled(v int) bool {
+	if e.loc != nil {
+		return e.isEnabled[v]
+	}
+	_, ok := e.evalGuard(v)
+	return ok
 }
 
 // MustEngine is NewEngine for statically correct inputs; it panics on error.
@@ -141,14 +209,85 @@ func (e *Engine[S]) Moves() int { return e.moves }
 // became disabled. Under the synchronous daemon every step is one round.
 func (e *Engine[S]) Rounds() int { return e.rounds }
 
+// GuardEvals returns the number of guard (EnabledRule) evaluations the
+// engine has performed so far — the hot-path cost measure the scaling
+// benchmarks report. Incremental engines spend O(Δ·avg-degree) per step;
+// full-rescan engines spend O(N).
+func (e *Engine[S]) GuardEvals() int64 { return e.guardEvals }
+
+// Incremental reports whether the engine is maintaining the enabled set
+// incrementally via the protocol's Local declaration.
+func (e *Engine[S]) Incremental() bool { return e.loc != nil }
+
+// DisableIncremental switches the engine to full guard rescans even when
+// the protocol declares Local. The execution itself is unaffected — only
+// the guard-evaluation cost changes — which is exactly what the
+// differential tests exploit to prove the tracker sound. Safe to call at
+// any point of an execution.
+func (e *Engine[S]) DisableIncremental() {
+	e.loc = nil
+	e.influence = nil
+	e.isEnabled = nil
+	e.dirty = nil
+	e.dirtyMark = nil
+	e.enabledAlt = nil
+}
+
 // SetHook installs a step observer (nil removes it).
 func (e *Engine[S]) SetHook(h Hook) { e.hook = h }
 
-// Enabled recomputes and returns the enabled vertices of the current
-// configuration; the slice is reused by the engine.
+// Enabled returns the enabled vertices of the current configuration, in
+// increasing order; the slice is owned by the engine. In incremental mode
+// this is the maintained set (no guard evaluations); otherwise it is
+// recomputed with a full sweep.
 func (e *Engine[S]) Enabled() []int {
-	e.enabled = Enabled(e.p, e.cfg, e.enabled)
-	return e.enabled
+	if e.loc != nil {
+		return e.enabled
+	}
+	return e.rescan()
+}
+
+// refreshEnabled updates the incremental enabled set after the vertices in
+// activated changed state: every activated vertex's influence set is
+// re-evaluated and the sorted enabled list is patched by a linear merge.
+func (e *Engine[S]) refreshEnabled(activated []int) {
+	e.dirty = e.dirty[:0]
+	for _, v := range activated {
+		for _, u := range e.influence[v] {
+			if !e.dirtyMark[u] {
+				e.dirtyMark[u] = true
+				e.dirty = append(e.dirty, u)
+			}
+		}
+	}
+	sort.Ints(e.dirty)
+	for _, u := range e.dirty {
+		_, ok := e.evalGuard(u)
+		e.isEnabled[u] = ok
+		e.dirtyMark[u] = false
+	}
+	// Merge: keep non-dirty entries of the old enabled list, splice dirty
+	// vertices back in by their fresh enabledness. Both inputs are sorted,
+	// so one linear pass rebuilds the list in increasing order.
+	out := e.enabledAlt[:0]
+	i, j := 0, 0
+	for i < len(e.enabled) || j < len(e.dirty) {
+		switch {
+		case j == len(e.dirty) || (i < len(e.enabled) && e.enabled[i] < e.dirty[j]):
+			out = append(out, e.enabled[i])
+			i++
+		default:
+			if i < len(e.enabled) && e.enabled[i] == e.dirty[j] {
+				i++
+			}
+			if e.isEnabled[e.dirty[j]] {
+				out = append(out, e.dirty[j])
+			}
+			j++
+		}
+	}
+	e.enabledAlt = e.enabled[:0]
+	e.enabled = out
 }
 
 // ErrDaemonSelection reports a daemon returning an empty or invalid
@@ -177,7 +316,7 @@ func (e *Engine[S]) Step() (bool, error) {
 	e.rules = e.rules[:0]
 	e.next = e.next[:0]
 	for _, v := range e.selected {
-		r, ok := e.p.EnabledRule(e.cfg, v)
+		r, ok := e.evalGuard(v)
 		if !ok {
 			return false, fmt.Errorf("%w: %s selected disabled vertex %d", ErrDaemonSelection, e.d.Name(), v)
 		}
@@ -189,6 +328,9 @@ func (e *Engine[S]) Step() (bool, error) {
 	}
 	e.steps++
 	e.moves += len(e.selected)
+	if e.loc != nil {
+		e.refreshEnabled(e.selected)
+	}
 	e.settleRound(e.selected)
 	if e.hook != nil {
 		e.hook(StepInfo{Step: e.steps, Activated: e.selected, Rules: e.rules})

@@ -18,6 +18,11 @@
 //
 // Synchronous bounds in the paper (Theorems 2 and 4) count steps; the
 // unfair-daemon bound (Theorem 3, via Devismes–Petit) counts moves.
+//
+// Protocols may additionally declare their guard read-sets (the Local
+// capability, DESIGN.md §6); the Engine then maintains the enabled set
+// incrementally — only activated vertices and their read-set closures are
+// re-evaluated after each step — without changing executions.
 package sim
 
 import (

@@ -204,3 +204,10 @@ func (p *Protocol) RuleName(r sim.Rule) string {
 }
 
 var _ sim.Protocol[int] = (*Protocol)(nil)
+
+// Neighbors implements sim.Local: every guard of Algorithm 1 reads exactly
+// the registers of v's graph neighbors (allCorrect, the ≤_l comparisons and
+// the init-tail inspections all range over neig(v)).
+func (p *Protocol) Neighbors(v int) []int { return p.g.Neighbors(v) }
+
+var _ sim.Local = (*Protocol)(nil)
