@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"specstab/internal/check"
@@ -24,23 +25,29 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "checker:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags are parsed from args and the
+// report written to out (the smoke tests drive it directly).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("checker", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		system   = flag.String("system", "ssme", "system to check: ssme, unison, dijkstra")
-		topology = flag.String("topology", "ring", "topology: "+cli.Topologies)
-		n        = flag.Int("n", 3, "number of vertices (state spaces grow as |domain|^n)")
-		k        = flag.Int("k", 0, "dijkstra: counter states K (default n; K<n demonstrates divergence)")
-		minimal  = flag.Bool("minimal", false, "unison: use minimal clock parameters instead of α=n")
-		central  = flag.Bool("central", false, "restrict the adversary to the central daemon")
-		maxCfg   = flag.Int("max-configs", 2_000_000, "state-space safety valve")
+		system   = fs.String("system", "ssme", "system to check: ssme, unison, dijkstra")
+		topology = fs.String("topology", "ring", "topology: "+cli.Topologies)
+		n        = fs.Int("n", 3, "number of vertices (state spaces grow as |domain|^n)")
+		k        = fs.Int("k", 0, "dijkstra: counter states K (default n; K<n demonstrates divergence)")
+		minimal  = fs.Bool("minimal", false, "unison: use minimal clock parameters instead of α=n")
+		central  = fs.Bool("central", false, "restrict the adversary to the central daemon")
+		maxCfg   = fs.Int("max-configs", 2_000_000, "state-space safety valve")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch *system {
 	case "ssme":
@@ -52,7 +59,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("checking SSME on %s — clock %s, domain %d^%d\n", g, p.Clock(), p.Clock().Size(), g.N())
+		fmt.Fprintf(out, "checking SSME on %s — clock %s, domain %d^%d\n", g, p.Clock(), p.Clock().Size(), g.N())
 		rep, err := check.Exhaustive[int](p, check.Options[int]{
 			Domain:       func(int) []int { return p.Clock().Values() },
 			Legit:        p.Legitimate,
@@ -64,9 +71,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		printReport("Γ₁", rep.Configs, rep.LegitCount, rep.DeadlockCount, rep.ClosureViolations,
+		printReport(out, "Γ₁", rep.Configs, rep.LegitCount, rep.DeadlockCount, rep.ClosureViolations,
 			rep.UnsafeLegit, rep.WorstSteps, rep.WorstMoves, rep.NonConverging, fmt.Sprint(rep.CycleWitness))
-		fmt.Printf("Theorem 3 bound: %d moves (exact worst: %d)\n", p.UnfairBoundMoves(), rep.WorstMoves)
+		fmt.Fprintf(out, "Theorem 3 bound: %d moves (exact worst: %d)\n", p.UnfairBoundMoves(), rep.WorstMoves)
 
 		sync, err := check.SyncWorst[int](p, check.SyncOptions[int]{
 			Domain:     func(int) []int { return p.Clock().Values() },
@@ -78,7 +85,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("exact synchronous worst case: %d steps (Theorem 2 bound ⌈diam/2⌉ = %d) from %v\n",
+		fmt.Fprintf(out, "exact synchronous worst case: %d steps (Theorem 2 bound ⌈diam/2⌉ = %d) from %v\n",
 			sync.WorstSteps, core.SyncBound(g), sync.WorstConfig)
 		return nil
 
@@ -95,7 +102,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("checking unison on %s — clock %s, domain %d^%d\n", g, params, params.Size(), g.N())
+		fmt.Fprintf(out, "checking unison on %s — clock %s, domain %d^%d\n", g, params, params.Size(), g.N())
 		rep, err := check.Exhaustive[int](u, check.Options[int]{
 			Domain:       func(int) []int { return u.Clock().Values() },
 			Legit:        u.Legitimate,
@@ -106,7 +113,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		printReport("Γ₁", rep.Configs, rep.LegitCount, rep.DeadlockCount, rep.ClosureViolations,
+		printReport(out, "Γ₁", rep.Configs, rep.LegitCount, rep.DeadlockCount, rep.ClosureViolations,
 			rep.UnsafeLegit, rep.WorstSteps, rep.WorstMoves, rep.NonConverging, fmt.Sprint(rep.CycleWitness))
 		return nil
 
@@ -119,7 +126,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("checking %s — domain %d^%d\n", p.Name(), kk, *n)
+		fmt.Fprintf(out, "checking %s — domain %d^%d\n", p.Name(), kk, *n)
 		domain := make([]int, kk)
 		for i := range domain {
 			domain[i] = i
@@ -135,10 +142,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		printReport("single token", rep.Configs, rep.LegitCount, rep.DeadlockCount, rep.ClosureViolations,
+		printReport(out, "single token", rep.Configs, rep.LegitCount, rep.DeadlockCount, rep.ClosureViolations,
 			rep.UnsafeLegit, rep.WorstSteps, rep.WorstMoves, rep.NonConverging, fmt.Sprint(rep.CycleWitness))
 		if kk < *n && !rep.NonConverging {
-			fmt.Println("note: expected divergence for K < n was NOT found — check the instance")
+			fmt.Fprintln(out, "note: expected divergence for K < n was NOT found — check the instance")
 		}
 		return nil
 
@@ -147,14 +154,14 @@ func run() error {
 	}
 }
 
-func printReport(legitName string, configs, legit, deadlocks, closureViol, unsafeLegit, worstSteps, worstMoves int, diverges bool, witness string) {
-	fmt.Printf("configurations  : %d (%d in %s)\n", configs, legit, legitName)
-	fmt.Printf("deadlocks       : %d\n", deadlocks)
-	fmt.Printf("closure breaks  : %d\n", closureViol)
-	fmt.Printf("unsafe legit    : %d\n", unsafeLegit)
+func printReport(out io.Writer, legitName string, configs, legit, deadlocks, closureViol, unsafeLegit, worstSteps, worstMoves int, diverges bool, witness string) {
+	fmt.Fprintf(out, "configurations  : %d (%d in %s)\n", configs, legit, legitName)
+	fmt.Fprintf(out, "deadlocks       : %d\n", deadlocks)
+	fmt.Fprintf(out, "closure breaks  : %d\n", closureViol)
+	fmt.Fprintf(out, "unsafe legit    : %d\n", unsafeLegit)
 	if diverges {
-		fmt.Printf("DIVERGES        : cycle outside the legitimacy set, witness %s\n", witness)
+		fmt.Fprintf(out, "DIVERGES        : cycle outside the legitimacy set, witness %s\n", witness)
 		return
 	}
-	fmt.Printf("exact worst case: %d steps / %d moves to legitimacy (over ALL schedules)\n", worstSteps, worstMoves)
+	fmt.Fprintf(out, "exact worst case: %d steps / %d moves to legitimacy (over ALL schedules)\n", worstSteps, worstMoves)
 }

@@ -1,0 +1,52 @@
+package main
+
+// Smoke tests: flag parsing and one tiny exhaustive check per system.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDijkstraTiny(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "dijkstra", "-n", "3", "-k", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"configurations", "deadlocks", "exact worst case"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDijkstraDivergenceWitness(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "dijkstra", "-n", "4", "-k", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DIVERGES") {
+		t.Fatalf("K<n instance must diverge:\n%s", out.String())
+	}
+}
+
+func TestRunUnisonMinimalTiny(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "unison", "-topology", "path", "-n", "3", "-minimal"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checking unison") {
+		t.Fatalf("missing header:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "nonsense"}, &out); err == nil {
+		t.Fatal("want error for unknown system")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

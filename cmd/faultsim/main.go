@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -21,24 +22,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags are parsed from args and the
+// report written to out (the smoke tests drive it directly).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		topology   = flag.String("topology", "ring", "topology: "+cli.Topologies)
-		n          = flag.Int("n", 12, "number of vertices")
-		daemonName = flag.String("daemon", "sync", "daemon: "+cli.Daemons)
-		prob       = flag.Float64("p", 0.5, "activation probability of the distributed daemon")
-		bursts     = flag.Int("bursts", 5, "number of fault bursts")
-		corrupt    = flag.Int("corrupt", 0, "registers corrupted per burst (0 = all)")
-		quiet      = flag.Int("quiet", 8, "steps between bursts")
-		seed       = flag.Int64("seed", 1, "random seed")
+		topology   = fs.String("topology", "ring", "topology: "+cli.Topologies)
+		n          = fs.Int("n", 12, "number of vertices")
+		daemonName = fs.String("daemon", "sync", "daemon: "+cli.Daemons)
+		prob       = fs.Float64("p", 0.5, "activation probability of the distributed daemon")
+		bursts     = fs.Int("bursts", 5, "number of fault bursts")
+		corrupt    = fs.Int("corrupt", 0, "registers corrupted per burst (0 = all)")
+		quiet      = fs.Int("quiet", 8, "steps between bursts")
+		seed       = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	g, err := cli.ParseTopology(*topology, *n, *seed)
 	if err != nil {
@@ -79,7 +86,7 @@ func run() error {
 		burstList[i] = faults.Burst{AfterSteps: *quiet, CorruptVertices: k}
 	}
 
-	fmt.Printf("fault campaign on %s under %s: %d bursts × %d corrupted registers\n\n",
+	fmt.Fprintf(out, "fault campaign on %s under %s: %d bursts × %d corrupted registers\n\n",
 		g, *daemonName, *bursts, k)
 	initial := sim.RandomConfig[int](p, rand.New(rand.NewSource(*seed)))
 	recs, err := scenario.Run(initial, burstList, *seed)
@@ -97,11 +104,11 @@ func run() error {
 		}
 		table.AddRow(i+1, rec.Recovered, rec.StepsToLegit, rec.MovesToLegit, rec.SafetyViolations, okStr)
 	}
-	fmt.Println(table)
+	fmt.Fprintln(out, table)
 	if allOK {
-		fmt.Println("every burst was followed by autonomous re-stabilization — Theorem 1 as a contract")
+		fmt.Fprintln(out, "every burst was followed by autonomous re-stabilization — Theorem 1 as a contract")
 	} else {
-		fmt.Println("RECOVERY FAILURE — this refutes Theorem 1 and is a bug worth reporting")
+		fmt.Fprintln(out, "RECOVERY FAILURE — this refutes Theorem 1 and is a bug worth reporting")
 	}
 	return nil
 }

@@ -1,0 +1,32 @@
+package main
+
+// Smoke tests: flag parsing and one tiny fault campaign.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyCampaign(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "ring", "-n", "6", "-daemon", "sync", "-bursts", "2", "-corrupt", "3", "-quiet", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fault campaign", "recoveries", "re-stabilization"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-daemon", "nonsense"}, &out); err == nil {
+		t.Fatal("want error for unknown daemon")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	specbench [-experiment e3] [-quick] [-seed 42] [-csv] [-workers 8]
+//	specbench [-experiment e3] [-quick] [-seed 42] [-csv] [-workers 8] [-backend flat]
 //
 // Without -experiment the full suite runs in order. Independent trials run
 // on a worker pool (-workers, default GOMAXPROCS); tables are bitwise
-// identical for every worker count. EXPERIMENTS.md records a quick run
-// next to the paper's claims.
+// identical for every worker count. -backend selects the engine execution
+// backend (auto, generic, flat — DESIGN.md §6); executions, and hence all
+// non-timing columns, are identical for every choice. EXPERIMENTS.md
+// records a quick run next to the paper's claims.
 package main
 
 import (
@@ -33,10 +35,11 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "random seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
+		backend = flag.String("backend", "auto", "engine execution backend: auto, generic, flat; executions are identical for every value")
 	)
 	flag.Parse()
 
-	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers}
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers, Backend: *backend}
 	list := experiments.Registry()
 	if *expID != "" {
 		exp, err := experiments.ByID(*expID)

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -21,24 +22,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ssme:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags are parsed from args and the
+// report written to out (the smoke tests drive it directly).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssme", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		topology   = flag.String("topology", "ring", "topology: "+cli.Topologies)
-		n          = flag.Int("n", 12, "number of vertices")
-		daemonName = flag.String("daemon", "sync", "daemon: "+cli.Daemons)
-		prob       = flag.Float64("p", 0.5, "activation probability of the distributed daemon")
-		initMode   = flag.String("init", "random", "initial configuration: random, worst (Theorem 4 islands), uniform")
-		seed       = flag.Int64("seed", 1, "random seed")
-		traceEvery = flag.Int("trace", 0, "print a trace every N steps (0 disables)")
-		maxSteps   = flag.Int("steps", 0, "step budget (0 = protocol service window)")
+		topology   = fs.String("topology", "ring", "topology: "+cli.Topologies)
+		n          = fs.Int("n", 12, "number of vertices")
+		daemonName = fs.String("daemon", "sync", "daemon: "+cli.Daemons)
+		prob       = fs.Float64("p", 0.5, "activation probability of the distributed daemon")
+		initMode   = fs.String("init", "random", "initial configuration: random, worst (Theorem 4 islands), uniform")
+		seed       = fs.Int64("seed", 1, "random seed")
+		traceEvery = fs.Int("trace", 0, "print a trace every N steps (0 disables)")
+		maxSteps   = fs.Int("steps", 0, "step budget (0 = protocol service window)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	g, err := cli.ParseTopology(*topology, *n, *seed)
 	if err != nil {
@@ -68,10 +75,10 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("graph     : %s\n", g)
-	fmt.Printf("clock     : %s\n", p.Clock())
-	fmt.Printf("daemon    : %s\n", d.Name())
-	fmt.Printf("bounds    : sync ⌈diam/2⌉ = %d steps; unfair ≤ %d moves; Γ₁ by 2n+diam = %d sync steps\n",
+	fmt.Fprintf(out, "graph     : %s\n", g)
+	fmt.Fprintf(out, "clock     : %s\n", p.Clock())
+	fmt.Fprintf(out, "daemon    : %s\n", d.Name())
+	fmt.Fprintf(out, "bounds    : sync ⌈diam/2⌉ = %d steps; unfair ≤ %d moves; Γ₁ by 2n+diam = %d sync steps\n",
 		core.SyncBound(g), p.UnfairBoundMoves(), p.SyncUnisonHorizon())
 
 	horizon := p.ServiceWindow()
@@ -93,20 +100,20 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("\nexecution : %d steps, %d moves (horizon %d)\n", rep.StepsExecuted, rep.MovesExecuted, horizon)
-	fmt.Printf("conv time : %d steps (last double privilege at step %d)\n", rep.ConvergenceSteps, rep.LastViolationStep)
-	fmt.Printf("Γ₁ entry  : step %d (%d moves)\n", rep.FirstLegitStep, rep.FirstLegitMoves)
-	fmt.Printf("closure   : broken=%v\n", rep.ClosureBroken)
+	fmt.Fprintf(out, "\nexecution : %d steps, %d moves (horizon %d)\n", rep.StepsExecuted, rep.MovesExecuted, horizon)
+	fmt.Fprintf(out, "conv time : %d steps (last double privilege at step %d)\n", rep.ConvergenceSteps, rep.LastViolationStep)
+	fmt.Fprintf(out, "Γ₁ entry  : step %d (%d moves)\n", rep.FirstLegitStep, rep.FirstLegitMoves)
+	fmt.Fprintf(out, "closure   : broken=%v\n", rep.ClosureBroken)
 	if d.Name() == "sd" {
 		status := "within bound"
 		if rep.ConvergenceSteps > core.SyncBound(g) {
 			status = "BOUND VIOLATED"
 		}
-		fmt.Printf("Theorem 2 : measured %d ≤ %d — %s\n", rep.ConvergenceSteps, core.SyncBound(g), status)
+		fmt.Fprintf(out, "Theorem 2 : measured %d ≤ %d — %s\n", rep.ConvergenceSteps, core.SyncBound(g), status)
 	}
 	if rec != nil {
-		fmt.Printf("\n%s\n", trace.PrivilegeTimeline[int](rec, g.N(), p.Privileged))
-		fmt.Println(trace.IntStrip(rec, g.N()))
+		fmt.Fprintf(out, "\n%s\n", trace.PrivilegeTimeline[int](rec, g.N(), p.Privileged))
+		fmt.Fprintln(out, trace.IntStrip(rec, g.N()))
 	}
 	return nil
 }

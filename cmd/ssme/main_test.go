@@ -1,0 +1,45 @@
+package main
+
+// Smoke tests: flag parsing and one tiny run per init mode/daemon.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSyncWorst(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "ring", "-n", "8", "-daemon", "sync", "-init", "worst"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"daemon    : sd", "conv time", "Theorem 2", "within bound"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDistributedWithTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "6", "-daemon", "distributed", "-p", "0.7", "-init", "random", "-trace", "2", "-steps", "40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "execution") {
+		t.Fatalf("missing execution summary:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-init", "nonsense"}, &out); err == nil {
+		t.Fatal("want error for unknown init mode")
+	}
+	if err := run([]string{"-daemon", "nonsense"}, &out); err == nil {
+		t.Fatal("want error for unknown daemon")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"specstab/internal/cli"
@@ -18,62 +19,68 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "topoinfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags are parsed from args and the
+// report written to out (the smoke tests drive it directly).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topoinfo", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		topology = flag.String("topology", "ring", "topology: "+cli.Topologies)
-		n        = flag.Int("n", 12, "number of vertices")
-		seed     = flag.Int64("seed", 1, "random seed (random topologies)")
-		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of the report")
-		figure   = flag.Bool("figure", false, "render the SSME clock cherry")
+		topology = fs.String("topology", "ring", "topology: "+cli.Topologies)
+		n        = fs.Int("n", 12, "number of vertices")
+		seed     = fs.Int64("seed", 1, "random seed (random topologies)")
+		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of the report")
+		figure   = fs.Bool("figure", false, "render the SSME clock cherry")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	g, err := cli.ParseTopology(*topology, *n, *seed)
 	if err != nil {
 		return err
 	}
 	if *dot {
-		fmt.Print(g.DOT(nil))
+		fmt.Fprint(out, g.DOT(nil))
 		return nil
 	}
 
-	fmt.Printf("graph        : %s\n", g.Name())
-	fmt.Printf("n, m         : %d, %d\n", g.N(), g.M())
-	fmt.Printf("diameter     : %d\n", g.Diameter())
-	fmt.Printf("radius       : %d\n", g.Radius())
+	fmt.Fprintf(out, "graph        : %s\n", g.Name())
+	fmt.Fprintf(out, "n, m         : %d, %d\n", g.N(), g.M())
+	fmt.Fprintf(out, "diameter     : %d\n", g.Diameter())
+	fmt.Fprintf(out, "radius       : %d\n", g.Radius())
 	u, v := g.Peripheral()
-	fmt.Printf("peripheral   : (%d, %d)\n", u, v)
+	fmt.Fprintf(out, "peripheral   : (%d, %d)\n", u, v)
 	if h, exact := g.Hole(); exact {
-		fmt.Printf("hole(g)      : %d (exact)\n", h)
+		fmt.Fprintf(out, "hole(g)      : %d (exact)\n", h)
 	} else {
-		fmt.Printf("hole(g)      : ≤ %d (search budget exhausted)\n", g.N())
+		fmt.Fprintf(out, "hole(g)      : ≤ %d (search budget exhausted)\n", g.N())
 	}
-	fmt.Printf("cyclo bound  : %d\n", g.CycloBound())
+	fmt.Fprintf(out, "cyclo bound  : %d\n", g.CycloBound())
 	if l, exact := g.LongestChordlessPath(); exact {
-		fmt.Printf("lcp(g)       : %d (exact)\n", l)
+		fmt.Fprintf(out, "lcp(g)       : %d (exact)\n", l)
 	} else {
-		fmt.Printf("lcp(g)       : ≤ %d (search budget exhausted)\n", g.N())
+		fmt.Fprintf(out, "lcp(g)       : ≤ %d (search budget exhausted)\n", g.N())
 	}
-	fmt.Printf("is tree      : %v\n", g.IsTree())
+	fmt.Fprintf(out, "is tree      : %v\n", g.IsTree())
 
 	p, err := core.New(g)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nSSME clock   : %s\n", p.Clock())
-	fmt.Printf("sync bound   : ⌈diam/2⌉ = %d steps (Theorems 2+4)\n", core.SyncBound(g))
-	fmt.Printf("unfair bound : %d moves (Theorem 3)\n", p.UnfairBoundMoves())
-	fmt.Printf("priv values  : id 0 → %d … id n−1 → %d (spacing 2·diam = %d)\n",
+	fmt.Fprintf(out, "\nSSME clock   : %s\n", p.Clock())
+	fmt.Fprintf(out, "sync bound   : ⌈diam/2⌉ = %d steps (Theorems 2+4)\n", core.SyncBound(g))
+	fmt.Fprintf(out, "unfair bound : %d moves (Theorem 3)\n", p.UnfairBoundMoves())
+	fmt.Fprintf(out, "priv values  : id 0 → %d … id n−1 → %d (spacing 2·diam = %d)\n",
 		p.PrivilegeValue(0), p.PrivilegeValue(g.N()-1), 2*g.Diameter())
-	fmt.Printf("unison (min) : %s would already stabilize plain unison\n", unison.MinimalParams(g))
+	fmt.Fprintf(out, "unison (min) : %s would already stabilize plain unison\n", unison.MinimalParams(g))
 	if *figure {
-		fmt.Printf("\n%s", p.Clock().Render())
+		fmt.Fprintf(out, "\n%s", p.Clock().Render())
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package main
+
+// Smoke tests: flag parsing and one tiny run per mode. The binaries'
+// run(args, out) entry points exist exactly so that CI exercises them
+// without spawning processes.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "ring", "-n", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"graph", "diameter", "SSME clock", "priv values"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "grid", "-n", "6", "-dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph") || !strings.Contains(out.String(), "--") {
+		t.Fatalf("not DOT output:\n%s", out.String())
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "5", "-figure"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty figure output")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "klein-bottle"}, &out); err == nil {
+		t.Fatal("want error for unknown topology")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

@@ -14,7 +14,7 @@
 // internal/experiments, whose measured outcomes EXPERIMENTS.md records
 // next to the paper's claims.
 //
-// Two substrate capabilities make the harness scale (DESIGN.md §6–§7):
+// Three substrate capabilities make the harness scale (DESIGN.md §6–§7):
 //
 //   - Engine locality: protocols declare their guard read-sets via
 //     sim.Local (Neighbors must be the guard's read-set closure), and the
@@ -22,6 +22,14 @@
 //     guard evaluations per step instead of O(N), with executions bitwise
 //     identical to a full rescan (differential-tested for every protocol
 //     under every daemon).
+//   - The flat execution backend: protocols additionally provide sim.Flat
+//     codecs packing per-vertex state into []int64 words with batch
+//     guard/apply kernels over CSR adjacency; the engine's backend
+//     selector (Auto/Generic/Flat) and double-buffered, shard-parallel
+//     synchronous step then execute on packed state — identical
+//     executions for every backend, worker count and shard size, at a
+//     fraction of the ns/step (BENCH_flat.json), and compositions become
+//     zero-copy via the stride/base calling convention.
 //   - Parallel trials: internal/experiments fans independent seeded trials
 //     over a worker pool (one Engine+Daemon per worker); per-trial seeds
 //     are fixed before the fan-out and results fold in trial order, so

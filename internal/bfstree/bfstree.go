@@ -30,6 +30,8 @@ const (
 // Protocol is the min+1 BFS protocol rooted at Root. Its state type is
 // int: the level d_v (arbitrary non-negative values after a fault).
 type Protocol struct {
+	sim.IntWord // packing half of the flat codec (see flat.go)
+
 	g    *graph.Graph
 	root int
 }

@@ -1,0 +1,71 @@
+package bfstree
+
+// Flat execution codec (sim.Flat, DESIGN.md §6): one int64 word per
+// vertex holding the level d_v, min-over-neighbors computed over the
+// graph's CSR rows.
+
+import "specstab/internal/sim"
+
+// minNeighborFlat is minNeighbor over the packed configuration; the
+// unit-stride layout the engine uses skips the stride arithmetic.
+func (p *Protocol) minNeighborFlat(st []int64, stride, base, v int) int64 {
+	csr := p.g.CSR()
+	off, tgt := csr.Offsets, csr.Targets
+	if stride == 1 && base == 0 {
+		m := st[tgt[off[v]]]
+		for j := off[v] + 1; j < off[v+1]; j++ {
+			if x := st[tgt[j]]; x < m {
+				m = x
+			}
+		}
+		return m
+	}
+	m := st[int(tgt[off[v]])*stride+base]
+	for j := off[v] + 1; j < off[v+1]; j++ {
+		if x := st[int(tgt[j])*stride+base]; x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// EnabledRuleFlat implements sim.Flat with the root and min+1 guards.
+func (p *Protocol) EnabledRuleFlat(st []int64, stride, base int, vs []int, rules []sim.Rule) {
+	for i, v := range vs {
+		if v == p.root {
+			if st[v*stride+base] != 0 {
+				rules[i] = RuleRoot
+			} else {
+				rules[i] = sim.NoRule
+			}
+			continue
+		}
+		if st[v*stride+base] != p.minNeighborFlat(st, stride, base, v)+1 {
+			rules[i] = RuleMinPlusOne
+		} else {
+			rules[i] = sim.NoRule
+		}
+	}
+}
+
+// ApplyFlat implements sim.Flat: the root pins 0, everyone else repairs
+// to min neighbor + 1.
+func (p *Protocol) ApplyFlat(st []int64, stride, base int, vs []int, rules []sim.Rule, out []int64, outStride, outBase int) {
+	for i, v := range vs {
+		switch rules[i] {
+		case RuleRoot:
+			out[i*outStride+outBase] = 0
+		case RuleMinPlusOne:
+			out[i*outStride+outBase] = p.minNeighborFlat(st, stride, base, v) + 1
+		default:
+			panic("bfstree: flat apply of unknown rule")
+		}
+	}
+}
+
+var _ sim.Flat[int] = (*Protocol)(nil)
+
+// MaxRule implements sim.RuleBounded: rules are root and min+1.
+func (p *Protocol) MaxRule() sim.Rule { return RuleMinPlusOne }
+
+var _ sim.RuleBounded = (*Protocol)(nil)

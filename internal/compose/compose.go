@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"specstab/internal/sim"
 )
@@ -36,45 +38,89 @@ type Pair[A, B comparable] struct {
 }
 
 // Product runs two protocols with disjoint state on the same vertex set.
-// A Product is not safe for concurrent use: guard evaluation reuses
-// internal projection buffers and the rule-pair interning table (give each
-// engine its own Product).
+// A Product is safe for concurrent use: guard evaluation draws its
+// projection scratch from a pool and the rule-pair interning table is an
+// immutable snapshot behind an atomic pointer, so compositions run under
+// concurrent.RoundNetwork and the engine's shard-parallel step (the race
+// tests exercise exactly that).
 //
 // Product rules are interned pairs of component rules, so products nest:
 // a Product is itself a sim.Protocol and can be composed again (see the
-// three-way composition test).
+// three-way composition test). When both components declare their rule
+// bounds (sim.RuleBounded — every protocol of this repository does), the
+// whole pair table is pre-interned at construction in lexicographic
+// order, which makes rule numbering deterministic regardless of
+// evaluation order or concurrency; unbounded components fall back to
+// copy-on-write interning in encounter order.
 type Product[A, B comparable] struct {
 	a sim.Protocol[A]
 	b sim.Protocol[B]
 
-	bufA sim.Config[A]
-	bufB sim.Config[B]
+	// Projection scratch: *projPair[A, B], pooled so that concurrent
+	// guard evaluations never share buffers.
+	proj sync.Pool
 
 	// Rule interning: product rule r (≥ 1) stands for component pair
-	// rulePairs[r−1]; ruleIndex inverts it.
-	ruleIndex map[[2]sim.Rule]sim.Rule
-	rulePairs [][2]sim.Rule
+	// tab.pairs[r−1]; tab.index inverts it. The table is an immutable
+	// snapshot — writers clone it under mu and swap the pointer, readers
+	// are lock-free. eager marks a fully pre-interned table.
+	tab   atomic.Pointer[ruleTable]
+	mu    sync.Mutex
+	eager bool
+
+	// dense is the eager table as a flat array — dense[ra*(bb+1)+rb] —
+	// so the batch kernels translate rule pairs without a map lookup.
+	dense   []sim.Rule
+	denseBB sim.Rule
 }
 
-// internRule returns the dense product rule for the component pair.
+// ruleTable is one immutable interning snapshot.
+type ruleTable struct {
+	index map[[2]sim.Rule]sim.Rule
+	pairs [][2]sim.Rule
+}
+
+// projPair is one projection scratch: both component views of a product
+// configuration.
+type projPair[A, B comparable] struct {
+	a sim.Config[A]
+	b sim.Config[B]
+}
+
+// internRule returns the dense product rule for the component pair,
+// extending the table (copy-on-write) when the pair is new.
 func (p *Product[A, B]) internRule(ra, rb sim.Rule) sim.Rule {
 	key := [2]sim.Rule{ra, rb}
-	if r, ok := p.ruleIndex[key]; ok {
+	if r, ok := p.tab.Load().index[key]; ok {
 		return r
 	}
-	p.rulePairs = append(p.rulePairs, key)
-	r := sim.Rule(len(p.rulePairs))
-	p.ruleIndex[key] = r
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.tab.Load()
+	if r, ok := old.index[key]; ok { // raced with another writer
+		return r
+	}
+	next := &ruleTable{
+		index: make(map[[2]sim.Rule]sim.Rule, len(old.index)+1),
+		pairs: append(append([][2]sim.Rule(nil), old.pairs...), key),
+	}
+	for k, v := range old.index {
+		next.index[k] = v
+	}
+	r := sim.Rule(len(next.pairs))
+	next.index[key] = r
+	p.tab.Store(next)
 	return r
 }
 
 // DecodeRule splits a product rule into its component rules (either may be
 // sim.NoRule when only one component fires).
 func (p *Product[A, B]) DecodeRule(r sim.Rule) (ra, rb sim.Rule) {
-	if r < 1 || int(r) > len(p.rulePairs) {
+	tab := p.tab.Load()
+	if r < 1 || int(r) > len(tab.pairs) {
 		return sim.NoRule, sim.NoRule
 	}
-	pair := p.rulePairs[r-1]
+	pair := tab.pairs[r-1]
 	return pair[0], pair[1]
 }
 
@@ -83,7 +129,39 @@ func New[A, B comparable](a sim.Protocol[A], b sim.Protocol[B]) (*Product[A, B],
 	if a.N() != b.N() {
 		return nil, fmt.Errorf("compose: component sizes differ (%d vs %d)", a.N(), b.N())
 	}
-	return &Product[A, B]{a: a, b: b, ruleIndex: make(map[[2]sim.Rule]sim.Rule)}, nil
+	p := &Product[A, B]{a: a, b: b}
+	p.proj.New = func() any { return &projPair[A, B]{} }
+	p.tab.Store(&ruleTable{index: make(map[[2]sim.Rule]sim.Rule)})
+	if ba, okA := sim.MaxRuleOf(a); okA {
+		if bb, okB := sim.MaxRuleOf(b); okB {
+			// Pre-intern every pair in lexicographic order: product rule
+			// numbering becomes a pure function of the component bounds.
+			p.dense = make([]sim.Rule, (int(ba)+1)*(int(bb)+1))
+			p.denseBB = bb
+			for ra := sim.Rule(0); ra <= ba; ra++ {
+				for rb := sim.Rule(0); rb <= bb; rb++ {
+					if ra == 0 && rb == 0 {
+						continue
+					}
+					p.dense[int(ra)*(int(bb)+1)+int(rb)] = p.internRule(ra, rb)
+				}
+			}
+			p.eager = true
+		}
+	}
+	return p, nil
+}
+
+// internFast is internRule for pairs within the eager bounds: a flat
+// array lookup, no map access. Out-of-bounds pairs (a component exceeding
+// its declared MaxRule) fall back to the interning table.
+func (p *Product[A, B]) internFast(ra, rb sim.Rule) sim.Rule {
+	if p.dense != nil && rb <= p.denseBB {
+		if idx := int(ra)*(int(p.denseBB)+1) + int(rb); idx < len(p.dense) {
+			return p.dense[idx]
+		}
+	}
+	return p.internRule(ra, rb)
 }
 
 // MustNew is New that panics on error.
@@ -104,6 +182,16 @@ func (p *Product[A, B]) N() int { return p.a.N() }
 // First returns component A's protocol; Second component B's.
 func (p *Product[A, B]) First() sim.Protocol[A]  { return p.a }
 func (p *Product[A, B]) Second() sim.Protocol[B] { return p.b }
+
+// MaxRule implements sim.RuleBounded: with rule-bounded components the
+// pre-interned pair table is the complete rule space; otherwise the bound
+// is unknown (0).
+func (p *Product[A, B]) MaxRule() sim.Rule {
+	if !p.eager {
+		return sim.NoRule
+	}
+	return sim.Rule(len(p.tab.Load().pairs))
+}
 
 // ProjectA extracts component A's configuration.
 func (p *Product[A, B]) ProjectA(c sim.Config[Pair[A, B]]) sim.Config[A] {
@@ -132,26 +220,32 @@ func Combine[A, B comparable](ca sim.Config[A], cb sim.Config[B]) sim.Config[Pai
 	return out
 }
 
-// projections fills the reused scratch buffers with both component views.
-func (p *Product[A, B]) projections(c sim.Config[Pair[A, B]]) (sim.Config[A], sim.Config[B]) {
-	if cap(p.bufA) < len(c) {
-		p.bufA = make(sim.Config[A], len(c))
-		p.bufB = make(sim.Config[B], len(c))
+// projections fills a pooled scratch pair with both component views; the
+// caller must release it after use and must not retain the views.
+func (p *Product[A, B]) projections(c sim.Config[Pair[A, B]]) *projPair[A, B] {
+	pp := p.proj.Get().(*projPair[A, B])
+	if cap(pp.a) < len(c) {
+		pp.a = make(sim.Config[A], len(c))
+		pp.b = make(sim.Config[B], len(c))
 	}
-	p.bufA, p.bufB = p.bufA[:len(c)], p.bufB[:len(c)]
+	pp.a, pp.b = pp.a[:len(c)], pp.b[:len(c)]
 	for v := range c {
-		p.bufA[v] = c[v].First
-		p.bufB[v] = c[v].Second
+		pp.a[v] = c[v].First
+		pp.b[v] = c[v].Second
 	}
-	return p.bufA, p.bufB
+	return pp
 }
+
+// release returns a projection scratch to the pool.
+func (p *Product[A, B]) release(pp *projPair[A, B]) { p.proj.Put(pp) }
 
 // EnabledRule implements sim.Protocol: a vertex is enabled when either
 // component is, and firing executes every enabled component rule.
 func (p *Product[A, B]) EnabledRule(c sim.Config[Pair[A, B]], v int) (sim.Rule, bool) {
-	ca, cb := p.projections(c)
-	ra, okA := p.a.EnabledRule(ca, v)
-	rb, okB := p.b.EnabledRule(cb, v)
+	pp := p.projections(c)
+	ra, okA := p.a.EnabledRule(pp.a, v)
+	rb, okB := p.b.EnabledRule(pp.b, v)
+	p.release(pp)
 	if !okA && !okB {
 		return sim.NoRule, false
 	}
@@ -167,14 +261,15 @@ func (p *Product[A, B]) EnabledRule(c sim.Config[Pair[A, B]], v int) (sim.Rule, 
 // Apply implements sim.Protocol.
 func (p *Product[A, B]) Apply(c sim.Config[Pair[A, B]], v int, r sim.Rule) Pair[A, B] {
 	ra, rb := p.DecodeRule(r)
-	ca, cb := p.projections(c)
+	pp := p.projections(c)
 	next := c[v]
 	if ra != sim.NoRule {
-		next.First = p.a.Apply(ca, v, ra)
+		next.First = p.a.Apply(pp.a, v, ra)
 	}
 	if rb != sim.NoRule {
-		next.Second = p.b.Apply(cb, v, rb)
+		next.Second = p.b.Apply(pp.b, v, rb)
 	}
+	p.release(pp)
 	return next
 }
 

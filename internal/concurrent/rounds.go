@@ -24,9 +24,10 @@ import (
 //
 // The protocol's EnabledRule/Apply are invoked from concurrent goroutines
 // against the frozen configuration, so they must be safe for concurrent
-// readers. Every protocol in this repository qualifies except
-// compose.Product, which reuses projection scratch buffers — drive
-// compositions through the sequential engine instead.
+// readers. Every protocol in this repository qualifies, including
+// compose.Product (its projection scratch is pooled and its rule-pair
+// table copy-on-write; the compose race tests drive a composition through
+// this very deployment under the race detector).
 type RoundNetwork[S comparable] struct {
 	p sim.Protocol[S]
 

@@ -49,6 +49,8 @@ const (
 // the process identities ID = {0, …, n−1} the paper assumes (mutual
 // exclusion has no deterministic anonymous solution, Burns & Pachl).
 type Protocol struct {
+	sim.IntWord // packing half of the flat codec (see flat.go)
+
 	uni *unison.Protocol
 	g   *graph.Graph
 	x   clock.Clock

@@ -35,6 +35,8 @@ const (
 // Protocol is Dijkstra's K-state token ring. Its state type is int: the
 // counter value x[v] ∈ [0, K).
 type Protocol struct {
+	sim.IntWord // packing half of the flat codec (see flat.go)
+
 	n int
 	k int
 	g *graph.Graph

@@ -1,0 +1,84 @@
+package dijkstra
+
+// Flat execution codec (sim.Flat, DESIGN.md §6): one int64 word per
+// vertex holding the counter x[v]. The ring structure is implicit in the
+// vertex numbering (v reads v−1 mod n), so the kernels need no adjacency
+// lookups at all — each guard is two array reads and a compare.
+
+import "specstab/internal/sim"
+
+// EnabledRuleFlat implements sim.Flat with Dijkstra's two guards. The
+// unit-stride layout the engine uses gets a dedicated loop so the compiler
+// drops the stride multiplies from the hot path.
+func (p *Protocol) EnabledRuleFlat(st []int64, stride, base int, vs []int, rules []sim.Rule) {
+	if stride == 1 && base == 0 {
+		for i, v := range vs {
+			if v == 0 {
+				if st[0] == st[p.n-1] {
+					rules[i] = RuleBottom
+				} else {
+					rules[i] = sim.NoRule
+				}
+				continue
+			}
+			if st[v] != st[v-1] {
+				rules[i] = RulePass
+			} else {
+				rules[i] = sim.NoRule
+			}
+		}
+		return
+	}
+	last := (p.n - 1) * stride
+	for i, v := range vs {
+		if v == 0 {
+			if st[base] == st[last+base] {
+				rules[i] = RuleBottom
+			} else {
+				rules[i] = sim.NoRule
+			}
+			continue
+		}
+		if st[v*stride+base] != st[(v-1)*stride+base] {
+			rules[i] = RulePass
+		} else {
+			rules[i] = sim.NoRule
+		}
+	}
+}
+
+// ApplyFlat implements sim.Flat: the bottom machine increments modulo K,
+// every other machine copies its predecessor.
+func (p *Protocol) ApplyFlat(st []int64, stride, base int, vs []int, rules []sim.Rule, out []int64, outStride, outBase int) {
+	k := int64(p.k)
+	if stride == 1 && base == 0 && outStride == 1 && outBase == 0 {
+		for i, v := range vs {
+			switch rules[i] {
+			case RuleBottom:
+				out[i] = (st[0] + 1) % k
+			case RulePass:
+				out[i] = st[v-1]
+			default:
+				panic("dijkstra: flat apply of unknown rule")
+			}
+		}
+		return
+	}
+	for i, v := range vs {
+		switch rules[i] {
+		case RuleBottom:
+			out[i*outStride+outBase] = (st[base] + 1) % k
+		case RulePass:
+			out[i*outStride+outBase] = st[(v-1)*stride+base]
+		default:
+			panic("dijkstra: flat apply of unknown rule")
+		}
+	}
+}
+
+var _ sim.Flat[int] = (*Protocol)(nil)
+
+// MaxRule implements sim.RuleBounded: rules are bottom and pass.
+func (p *Protocol) MaxRule() sim.Rule { return RulePass }
+
+var _ sim.RuleBounded = (*Protocol)(nil)

@@ -44,7 +44,7 @@ func E11LExclusion(cfg RunConfig) ([]*stats.Table, error) {
 				initials[t] = sim.RandomConfig[int](p, rng)
 			}
 			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
-				e, err := sim.NewEngine[int](p, daemon.NewSynchronous[int](), initials[t], 1)
+				e, err := newEngine[int](cfg, p, daemon.NewSynchronous[int](), initials[t], 1)
 				if err != nil {
 					return runOutcome{}, err
 				}
@@ -69,7 +69,7 @@ func E11LExclusion(cfg RunConfig) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			e, err := sim.NewEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+			e, err := newEngine[int](cfg, p, daemon.NewSynchronous[int](), initial, 1)
 			if err != nil {
 				return nil, err
 			}

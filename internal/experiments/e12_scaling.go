@@ -2,14 +2,17 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"specstab/internal/bfstree"
+	"specstab/internal/compose"
 	"specstab/internal/daemon"
 	"specstab/internal/dijkstra"
 	"specstab/internal/graph"
 	"specstab/internal/sim"
 	"specstab/internal/stats"
+	"specstab/internal/unison"
 )
 
 // E12Scaling measures the engine-locality tentpole: with a Local protocol
@@ -95,7 +98,242 @@ func E12Scaling(cfg RunConfig) ([]*stats.Table, error) {
 	}
 	table.AddNote("executions are identical by construction (differential tests); the acceptance bar is ≥5× fewer guard evals on the 4096-ring under cd — measured ~10³×")
 	table.AddNote("wall-clock columns vary between runs; every other column is deterministic for a fixed seed")
-	return []*stats.Table{table}, nil
+
+	backends, err := e12BackendTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	compositions, err := e12CompositionTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{table, backends, compositions}, nil
+}
+
+// e12CompositionTable measures the zero-copy composition win: the generic
+// Product must materialize both component projections of the whole
+// configuration for every guard evaluation (O(N) per guard, O(N²) per
+// synchronous step), while the flat product hands each component the same
+// packed array at a shifted base offset (O(deg) per guard). This is where
+// the flat backend's stride/base calling convention pays off by orders of
+// magnitude, which is why the generic column gets very few steps.
+func e12CompositionTable(cfg RunConfig) (*stats.Table, error) {
+	table := stats.NewTable(
+		"E12c — zero-copy flat composition (unison × bfstree under sd): ns/step",
+		"n", "steps gen", "steps flat", "ns/step gen", "ns/step flat", "speedup ×", "consistent",
+	)
+	sizes := []int{512}
+	genSteps, flatSteps := 10, 10
+	if !cfg.Quick {
+		sizes = []int{4096, 8192, 16384}
+		genSteps, flatSteps = 5, 100
+	}
+	for _, n := range sizes {
+		g := graph.Ring(n)
+		uni, err := unison.New(g, unison.SafeParams(g))
+		if err != nil {
+			return nil, err
+		}
+		prod, err := compose.New[int, int](uni, bfstree.MustNew(g, 0))
+		if err != nil {
+			return nil, err
+		}
+		rng := cfg.rng(int64(47 * n))
+		initial := sim.RandomConfig[compose.Pair[int, int]](prod, rng)
+		seed := cfg.seed() + int64(n)
+
+		gen, err := sim.NewEngineWith[compose.Pair[int, int]](prod,
+			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed,
+			sim.Options{Backend: sim.BackendGeneric, Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		flat, err := sim.NewEngineWith[compose.Pair[int, int]](prod,
+			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed,
+			sim.Options{Backend: sim.BackendFlat, Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		dg, genNS, _, err := timedRun(gen, genSteps)
+		if err != nil {
+			return nil, err
+		}
+		df, flatNS, _, err := timedRun(flat, flatSteps)
+		if err != nil {
+			return nil, err
+		}
+		// The executions are identical step for step; cross-check on the
+		// shared prefix by replaying the flat engine's first dg steps.
+		check, err := sim.NewEngineWith[compose.Pair[int, int]](prod,
+			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed,
+			sim.Options{Backend: sim.BackendFlat, Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := check.Run(dg, nil); err != nil {
+			return nil, err
+		}
+		table.AddRow(n, dg, df, genNS, flatNS,
+			fmt.Sprintf("%.0f", ratio(genNS, flatNS)), ok(check.Current().Equal(gen.Current())))
+	}
+	table.AddNote("generic compositions copy both component projections per guard (O(N²)/sync step); the flat product is projection-free via stride/base offsets")
+	return table, nil
+}
+
+// e12BackendTable is the flat-backend extension of E12: the same seeded
+// synchronous execution driven once on the generic backend and once on the
+// flat backend (both sequential, plus the flat backend with GOMAXPROCS
+// shard workers), reporting ns/step, allocations/step and the speedups.
+// Ring sizes sweep up to 10⁶ vertices; trees use the deterministic binary
+// tree at the same sizes (Prüfer decoding of random trees is quadratic, so
+// the random connected topology stops at 16384).
+func e12BackendTable(cfg RunConfig) (*stats.Table, error) {
+	steps := cfg.pick(60, 150)
+	table := stats.NewTable(
+		"E12b — flat execution backend vs generic under sd: ns/step and allocs/step",
+		"graph", "n", "steps", "ns/step gen", "ns/step flat", "flat ×", "ns/step flat-par", "par ×", "allocs/step gen", "allocs/step flat", "consistent",
+	)
+
+	type cell struct {
+		gname string
+		n     int
+		build func() (proto[int], error)
+	}
+	ringSizes := []int{1024, 4096}
+	treeSizes := []int{1024}
+	randSizes := []int{1024}
+	if !cfg.Quick {
+		ringSizes = []int{65536, 262144, 1048576}
+		treeSizes = []int{65536, 262144, 1048576}
+		randSizes = []int{16384}
+	}
+	var cells []cell
+	for _, n := range ringSizes {
+		n := n
+		cells = append(cells, cell{"ring", n, func() (proto[int], error) {
+			p, err := dijkstra.New(n, n)
+			return proto[int]{p, n}, err
+		}})
+	}
+	for _, n := range treeSizes {
+		n := n
+		cells = append(cells, cell{"bintree", n, func() (proto[int], error) {
+			p, err := bfstree.New(graph.BinaryTree(n), 0)
+			return proto[int]{p, n}, err
+		}})
+	}
+	for _, n := range randSizes {
+		n := n
+		cells = append(cells, cell{"randconn", n, func() (proto[int], error) {
+			g := graph.RandomConnected(n, n/2, cfg.rng(int64(41*n)))
+			p, err := bfstree.New(g, 0)
+			return proto[int]{p, n}, err
+		}})
+	}
+
+	for _, c := range cells {
+		pr, err := c.build()
+		if err != nil {
+			return nil, err
+		}
+		row, err := measureBackendCell(cfg, pr.p, c.n, steps)
+		if err != nil {
+			return nil, fmt.Errorf("e12b %s-%d: %w", c.gname, c.n, err)
+		}
+		table.AddRow(fmt.Sprintf("%s-%d", c.gname, c.n), c.n, row.steps,
+			row.genNS, row.flatNS, fmt.Sprintf("%.1f", ratio(row.genNS, row.flatNS)),
+			row.flatParNS, fmt.Sprintf("%.1f", ratio(row.genNS, row.flatParNS)),
+			fmt.Sprintf("%.1f", row.genAllocs), fmt.Sprintf("%.1f", row.flatAllocs), ok(row.consistent))
+	}
+	table.AddNote("both backends replay the identical execution (differential tests); sequential engines isolate the representation win, flat-par adds shard parallelism")
+	table.AddNote("acceptance bar: ≥3× ns/step for flat over generic on the 65536-ring under sd; timing columns vary between runs")
+	return table, nil
+}
+
+// ratio guards against division by zero in timing columns.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+type backendRow struct {
+	steps                 int
+	genNS, flatNS         int64
+	flatParNS             int64
+	genAllocs, flatAllocs float64
+	consistent            bool
+}
+
+// timedRun drives one engine for up to steps transitions, returning
+// executed steps, ns/step and mallocs/step.
+func timedRun[S comparable](e *sim.Engine[S], steps int) (int, int64, float64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	done, err := e.Run(steps, nil)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return done, 0, 0, err
+	}
+	div := done
+	if div == 0 {
+		div = 1
+	}
+	return done, elapsed.Nanoseconds() / int64(div), float64(m1.Mallocs-m0.Mallocs) / float64(div), nil
+}
+
+// measureBackendCell drives the same seeded synchronous execution on the
+// generic backend, the sequential flat backend and the shard-parallel flat
+// backend, and cross-checks the final configurations.
+func measureBackendCell[S comparable](cfg RunConfig, p sim.Protocol[S], salt, steps int) (backendRow, error) {
+	if sim.FlatOf(p) == nil {
+		return backendRow{}, fmt.Errorf("protocol %s lacks sim.Flat", p.Name())
+	}
+	rng := cfg.rng(int64(43 * salt))
+	initial := sim.RandomConfig(p, rng)
+	seed := cfg.seed() + int64(salt)
+	mk := func() sim.Daemon[S] { return daemon.NewSynchronous[S]() }
+
+	gen, err := sim.NewEngineWith(p, mk(), initial, seed, sim.Options{Backend: sim.BackendGeneric, Workers: 1})
+	if err != nil {
+		return backendRow{}, err
+	}
+	flat, err := sim.NewEngineWith(p, mk(), initial, seed, sim.Options{Backend: sim.BackendFlat, Workers: 1})
+	if err != nil {
+		return backendRow{}, err
+	}
+	flatPar, err := sim.NewEngineWith(p, mk(), initial, seed, sim.Options{Backend: sim.BackendFlat})
+	if err != nil {
+		return backendRow{}, err
+	}
+
+	dg, genNS, genAllocs, err := timedRun(gen, steps)
+	if err != nil {
+		return backendRow{}, err
+	}
+	df, flatNS, flatAllocs, err := timedRun(flat, steps)
+	if err != nil {
+		return backendRow{}, err
+	}
+	dp, flatParNS, _, err := timedRun(flatPar, steps)
+	if err != nil {
+		return backendRow{}, err
+	}
+
+	return backendRow{
+		steps:      dg,
+		genNS:      genNS,
+		flatNS:     flatNS,
+		flatParNS:  flatParNS,
+		genAllocs:  genAllocs,
+		flatAllocs: flatAllocs,
+		consistent: dg == df && df == dp &&
+			gen.Current().Equal(flat.Current()) && gen.Current().Equal(flatPar.Current()) &&
+			gen.Moves() == flat.Moves() && gen.Moves() == flatPar.Moves(),
+	}, nil
 }
 
 // proto pairs a protocol with its size (a generic-free holder for the cell
@@ -119,14 +357,14 @@ func measureScalingCell[S comparable](cfg RunConfig, p sim.Protocol[S], mk func(
 	initial := sim.RandomConfig(p, rng)
 	seed := cfg.seed() + int64(salt)
 
-	inc, err := sim.NewEngine(p, mk(), initial, seed)
+	inc, err := newEngine(cfg, p, mk(), initial, seed)
 	if err != nil {
 		return scalingRow{}, err
 	}
 	if !inc.Incremental() {
 		return scalingRow{}, fmt.Errorf("protocol %s lacks sim.Local", p.Name())
 	}
-	full, err := sim.NewEngine(p, mk(), initial, seed)
+	full, err := newEngine(cfg, p, mk(), initial, seed)
 	if err != nil {
 		return scalingRow{}, err
 	}

@@ -42,7 +42,7 @@ func E2SelfStabilization(cfg RunConfig) ([]*stats.Table, error) {
 				initials[t] = sim.RandomConfig[int](p, rng)
 			}
 			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
-				e, err := sim.NewEngine[int](p, mk(), initials[t], int64(t+1))
+				e, err := newEngine[int](cfg, p, mk(), initials[t], int64(t+1))
 				if err != nil {
 					return runOutcome{}, err
 				}
@@ -77,7 +77,7 @@ func E2SelfStabilization(cfg RunConfig) ([]*stats.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				e, err := sim.NewEngine[int](p, daemon.NewRandomCentral[int](), initial, 99)
+				e, err := newEngine[int](cfg, p, daemon.NewRandomCentral[int](), initial, 99)
 				if err != nil {
 					return nil, err
 				}

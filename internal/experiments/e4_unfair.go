@@ -52,7 +52,7 @@ func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
 				initials[t] = sim.RandomConfig[int](p, rng)
 			}
 			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
-				e, err := sim.NewEngine[int](p, mk(), initials[t], int64(t+1))
+				e, err := newEngine[int](cfg, p, mk(), initials[t], int64(t+1))
 				if err != nil {
 					return runOutcome{}, err
 				}

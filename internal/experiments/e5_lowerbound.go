@@ -5,7 +5,6 @@ import (
 
 	"specstab/internal/core"
 	"specstab/internal/daemon"
-	"specstab/internal/sim"
 	"specstab/internal/stats"
 )
 
@@ -37,7 +36,7 @@ func E5LowerBound(cfg RunConfig) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			e, err := sim.NewEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+			e, err := newEngine[int](cfg, p, daemon.NewSynchronous[int](), initial, 1)
 			if err != nil {
 				return nil, err
 			}

@@ -41,7 +41,7 @@ func E7Unison(cfg RunConfig) ([]*stats.Table, error) {
 				syncInitials[t] = sim.RandomConfig[int](u, rng)
 			}
 			syncOuts, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
-				e := sim.MustEngine[int](u, daemon.NewSynchronous[int](), syncInitials[t], 1)
+				e := mustNewEngine[int](cfg, u, daemon.NewSynchronous[int](), syncInitials[t], 1)
 				return measureRun(e, syncBound, u.Clock().K, u.Legitimate, u.Legitimate)
 			})
 			if err != nil {
@@ -71,7 +71,7 @@ func E7Unison(cfg RunConfig) ([]*stats.Table, error) {
 					initials[t] = sim.RandomConfig[int](u, rng)
 				}
 				outs, err := forTrials(cfg, udTrials, func(t int) (runOutcome, error) {
-					e := sim.MustEngine[int](u, mk(), initials[t], int64(t+1))
+					e := mustNewEngine[int](cfg, u, mk(), initials[t], int64(t+1))
 					return measureRun(e, udBound, u.Clock().K, u.Legitimate, u.Legitimate)
 				})
 				if err != nil {

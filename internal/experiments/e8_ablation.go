@@ -182,7 +182,7 @@ func e8ServiceCost(cfg RunConfig) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
+		e := mustNewEngine[int](cfg, p, daemon.NewSynchronous[int](), initial, 1)
 		svc, err := p.MeasureService(e, 3*p.ServiceWindow())
 		if err != nil {
 			return nil, err

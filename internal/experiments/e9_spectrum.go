@@ -72,7 +72,7 @@ func E9DaemonSpectrum(cfg RunConfig) ([]*stats.Table, error) {
 				steps, moves, rounds int
 			}
 			outs, err := forTrials(cfg, trials, func(t int) (spectrumOutcome, error) {
-				e, err := sim.NewEngine[int](p, d.mk(), initials[t], int64(t+1))
+				e, err := newEngine[int](cfg, p, d.mk(), initials[t], int64(t+1))
 				if err != nil {
 					return spectrumOutcome{}, err
 				}

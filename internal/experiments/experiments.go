@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"specstab/internal/graph"
+	"specstab/internal/sim"
 	"specstab/internal/stats"
 )
 
@@ -31,6 +32,41 @@ type RunConfig struct {
 	// bitwise identical for every value — trials are seeded
 	// deterministically and folded in trial order (see parallel.go).
 	Workers int
+	// Backend selects the engine execution backend: "auto" (or empty),
+	// "generic", or "flat". "flat" forces the packed backend where the
+	// protocol provides it and falls back to generic elsewhere.
+	// Executions — and hence all non-timing columns — are bitwise
+	// identical for every value (DESIGN.md §6). It applies to engines the
+	// experiments construct directly; protocol-owned measurement helpers
+	// (e.g. core.MeasureSync) use the automatic backend.
+	Backend string
+}
+
+// engineOptions translates the Backend knob for a concrete protocol.
+func engineOptions[S comparable](cfg RunConfig, p sim.Protocol[S]) (sim.Options, error) {
+	switch cfg.Backend {
+	case "", "auto":
+		return sim.Options{Backend: sim.BackendAuto}, nil
+	case "generic":
+		return sim.Options{Backend: sim.BackendGeneric}, nil
+	case "flat":
+		if sim.FlatOf(p) == nil {
+			return sim.Options{Backend: sim.BackendGeneric}, nil
+		}
+		return sim.Options{Backend: sim.BackendFlat}, nil
+	default:
+		return sim.Options{}, fmt.Errorf("experiments: unknown backend %q (auto, generic, flat)", cfg.Backend)
+	}
+}
+
+// newEngine builds an engine honoring the RunConfig backend knob; every
+// experiment constructs its engines through it.
+func newEngine[S comparable](cfg RunConfig, p sim.Protocol[S], d sim.Daemon[S], initial sim.Config[S], seed int64) (*sim.Engine[S], error) {
+	opts, err := engineOptions(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewEngineWith(p, d, initial, seed, opts)
 }
 
 func (c RunConfig) seed() int64 {
@@ -119,4 +155,14 @@ func zoo(cfg RunConfig) []*graph.Graph {
 	}
 	sort.Slice(gs, func(i, j int) bool { return gs[i].Name() < gs[j].Name() })
 	return gs
+}
+
+// mustNewEngine is newEngine for statically correct inputs; it panics on
+// error (catalogue/trial-loop use, mirroring sim.MustEngine).
+func mustNewEngine[S comparable](cfg RunConfig, p sim.Protocol[S], d sim.Daemon[S], initial sim.Config[S], seed int64) *sim.Engine[S] {
+	e, err := newEngine(cfg, p, d, initial, seed)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }

@@ -1,0 +1,66 @@
+package graph
+
+// Compressed-sparse-row adjacency. The flat execution backend
+// (internal/sim, DESIGN.md §6) evaluates guards over packed []int64 state
+// vectors; iterating [][]int adjacency there costs a pointer chase and a
+// bounds check per neighbor list. A CSR view stores every neighbor list
+// back to back in one []int32 with an offset table, so batch guard kernels
+// walk contiguous memory with nothing but integer arithmetic.
+
+import "sync"
+
+// CSR is a compressed-sparse-row adjacency view: the neighbors of vertex v
+// are Targets[Offsets[v]:Offsets[v+1]]. Rows keep the order of the lists
+// they were built from (sorted, for Graph adjacency). A CSR is immutable
+// after construction and safe for concurrent readers; vertex ids are int32
+// (the substrate targets systems up to a few million vertices).
+type CSR struct {
+	// Offsets has length N()+1; row v spans Offsets[v]..Offsets[v+1].
+	Offsets []int32
+	// Targets concatenates all rows.
+	Targets []int32
+}
+
+// BuildCSR flattens the neighbor lists given by row (called once per
+// vertex, in order) into a CSR.
+func BuildCSR(n int, row func(v int) []int) *CSR {
+	c := &CSR{Offsets: make([]int32, n+1)}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(row(v))
+	}
+	c.Targets = make([]int32, 0, total)
+	for v := 0; v < n; v++ {
+		for _, u := range row(v) {
+			c.Targets = append(c.Targets, int32(u))
+		}
+		c.Offsets[v+1] = int32(len(c.Targets))
+	}
+	return c
+}
+
+// N returns the number of vertices of the view.
+func (c *CSR) N() int { return len(c.Offsets) - 1 }
+
+// Degree returns the length of row v.
+func (c *CSR) Degree(v int) int { return int(c.Offsets[v+1] - c.Offsets[v]) }
+
+// Row returns the neighbor row of v, sharing the underlying storage.
+func (c *CSR) Row(v int) []int32 { return c.Targets[c.Offsets[v]:c.Offsets[v+1]] }
+
+// csrCache memoizes Graph.CSR; a Graph is logically immutable, so the view
+// is built once on first use, thread-safely (same discipline as the metric
+// caches of metrics.go).
+type csrCache struct {
+	once sync.Once
+	csr  *CSR
+}
+
+// CSR returns the graph's adjacency as a compressed-sparse-row view,
+// built once and shared by all callers (read-only).
+func (g *Graph) CSR() *CSR {
+	g.csrc.once.Do(func() {
+		g.csrc.csr = BuildCSR(g.N(), g.Neighbors)
+	})
+	return g.csrc.csr
+}

@@ -38,6 +38,9 @@ type Graph struct {
 	dist     [][]int16
 	diam     int
 	ecc      []int
+
+	// Memoized compressed-sparse-row adjacency view (see csr.go).
+	csrc csrCache
 }
 
 // New builds a graph with n vertices from an edge list. It rejects

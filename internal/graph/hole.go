@@ -27,6 +27,12 @@ func (g *Graph) Hole() (int, bool) {
 	if g.IsTree() {
 		return 2, true
 	}
+	if g.IsCycleGraph() {
+		// The cycle C_n is its own unique (chordless) cycle; the generic
+		// search would spend Θ(n²) on it, which matters at the 10⁵–10⁶
+		// vertex scales the flat backend targets.
+		return g.N(), true
+	}
 	budget := searchBudget
 	best := 0
 	n := g.N()
@@ -45,9 +51,15 @@ func (g *Graph) Hole() (int, bool) {
 				continue
 			}
 			// u must have no chord to the path interior v1..v_{k-1}.
+			// The chord sweep is charged against the budget too — on
+			// long-cycle graphs it is the dominant cost, and an
+			// unbudgeted sweep would make Hole() quadratic in n.
 			chord := false
 			if len(path) >= 2 {
 				for _, w := range path[1 : len(path)-1] {
+					if budget--; budget < 0 {
+						return false
+					}
 					if g.Adjacent(u, w) {
 						chord = true
 						break
@@ -148,8 +160,13 @@ func (g *Graph) LongestChordlessPath() (int, bool) {
 			if inPath[u] {
 				continue
 			}
+			// Budgeted like Hole()'s chord sweep: unbudgeted it is the
+			// dominant cost on long-path graphs.
 			chord := false
 			for _, w := range path[:len(path)-1] {
+				if budget--; budget < 0 {
+					return false
+				}
 				if g.Adjacent(u, w) {
 					chord = true
 					break

@@ -36,6 +36,8 @@ import (
 
 // Protocol is the ℓ-exclusion protocol bound to a graph.
 type Protocol struct {
+	sim.IntWord // packing half of the flat codec (see flat.go)
+
 	uni *unison.Protocol
 	g   *graph.Graph
 	x   clock.Clock

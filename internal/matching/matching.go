@@ -183,6 +183,12 @@ func (p *Protocol) Neighbors(v int) []int { return p.g.Neighbors(v) }
 
 var _ sim.Local = (*Protocol)(nil)
 
+// MaxRule implements sim.RuleBounded: rules are update, marriage,
+// seduction and abandonment.
+func (p *Protocol) MaxRule() sim.Rule { return RuleAbandonment }
+
+var _ sim.RuleBounded = (*Protocol)(nil)
+
 // Matched returns the matching encoded by the mutual pointers of c,
 // as edges {u, v} with u < v.
 func (p *Protocol) Matched(c sim.Config[State]) [][2]int {

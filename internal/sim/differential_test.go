@@ -11,6 +11,7 @@ package sim_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"specstab/internal/bfstree"
@@ -166,6 +167,124 @@ func TestDifferentialIncrementalVsFullRescan(t *testing.T) {
 		t.Fatal(err)
 	}
 	runMatrix[compose.Pair[int, int]](t, "product", compose.MustNew[int, int](uniGrid, bfstree.MustNew(grid, 4)), 150)
+}
+
+// backendVariant is one engine construction recipe of the backend matrix.
+type backendVariant struct {
+	name string
+	opts sim.Options
+}
+
+// backendMatrix returns the variants compared against the sequential
+// generic reference: the generic backend under shard parallelism, and —
+// when the protocol provides sim.Flat — the flat backend under worker
+// counts {1, 4, GOMAXPROCS}. ShardSize 2 forces the parallel evaluate
+// phase even on the tiny test graphs.
+func backendMatrix(flat bool) []backendVariant {
+	vs := []backendVariant{
+		{"generic/w4", sim.Options{Backend: sim.BackendGeneric, Workers: 4, ShardSize: 2}},
+		{"generic/wmax", sim.Options{Backend: sim.BackendGeneric, Workers: runtime.GOMAXPROCS(0), ShardSize: 2}},
+	}
+	if flat {
+		vs = append(vs,
+			backendVariant{"flat/w1", sim.Options{Backend: sim.BackendFlat, Workers: 1}},
+			backendVariant{"flat/w4", sim.Options{Backend: sim.BackendFlat, Workers: 4, ShardSize: 2}},
+			backendVariant{"flat/wmax", sim.Options{Backend: sim.BackendFlat, Workers: runtime.GOMAXPROCS(0), ShardSize: 2}},
+		)
+	}
+	return vs
+}
+
+// diffBackends drives the sequential generic reference engine and every
+// backend/worker variant from the same initial configuration and seed,
+// asserting bitwise identical executions.
+func diffBackends[S comparable](t *testing.T, p sim.Protocol[S], mk func() sim.Daemon[S], seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	initial := sim.RandomConfig(p, rng)
+
+	ref, err := sim.NewEngineWith(p, mk(), initial, seed, sim.Options{Backend: sim.BackendGeneric, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace(t, ref, steps)
+
+	for _, v := range backendMatrix(sim.FlatOf(p) != nil) {
+		e, err := sim.NewEngineWith(p, mk(), initial, seed, v.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		got := trace(t, e, steps)
+		if len(got) != len(want) {
+			t.Fatalf("%s: execution lengths diverge: %d vs %d", v.name, len(got), len(want))
+		}
+		for i := range want {
+			if fmt.Sprint(got[i].activated) != fmt.Sprint(want[i].activated) {
+				t.Fatalf("%s step %d: selected vertices diverge: %v vs %v", v.name, i+1, got[i].activated, want[i].activated)
+			}
+			if fmt.Sprint(got[i].rules) != fmt.Sprint(want[i].rules) {
+				t.Fatalf("%s step %d: rules diverge: %v vs %v", v.name, i+1, got[i].rules, want[i].rules)
+			}
+			if got[i].rounds != want[i].rounds {
+				t.Fatalf("%s step %d: round counters diverge: %d vs %d", v.name, i+1, got[i].rounds, want[i].rounds)
+			}
+		}
+		if !e.Current().Equal(ref.Current()) {
+			t.Fatalf("%s: final configurations diverge", v.name)
+		}
+		if e.Steps() != ref.Steps() || e.Moves() != ref.Moves() || e.Rounds() != ref.Rounds() {
+			t.Fatalf("%s: counters diverge: steps %d/%d moves %d/%d rounds %d/%d", v.name,
+				e.Steps(), ref.Steps(), e.Moves(), ref.Moves(), e.Rounds(), ref.Rounds())
+		}
+	}
+}
+
+// runBackendMatrix exercises one protocol against the whole daemon matrix
+// across backends and worker counts.
+func runBackendMatrix[S comparable](t *testing.T, name string, p sim.Protocol[S], mustFlat bool, steps int) {
+	t.Helper()
+	if mustFlat && sim.FlatOf(p) == nil {
+		t.Fatalf("%s must provide sim.Flat", p.Name())
+	}
+	for dname, mk := range daemonMatrix(p) {
+		mk := mk
+		t.Run(name+"/"+dname, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				diffBackends(t, p, mk, seed, steps)
+			}
+		})
+	}
+}
+
+// TestDifferentialBackendsAndWorkers is the flat backend's soundness
+// gate: for every protocol, under every daemon family, the flat and
+// shard-parallel engines must replay the sequential generic engine's
+// execution bit for bit, for worker counts {1, 4, GOMAXPROCS}.
+func TestDifferentialBackendsAndWorkers(t *testing.T) {
+	t.Parallel()
+
+	ring := graph.Ring(7)
+	grid := graph.Grid(3, 3)
+
+	runBackendMatrix[int](t, "dijkstra", dijkstra.MustNew(7, 7), true, 150)
+	runBackendMatrix[int](t, "bfstree", bfstree.MustNew(grid, 0), true, 150)
+	runBackendMatrix[matching.State](t, "matching", matching.New(graph.Petersen()), false, 150)
+	runBackendMatrix[int](t, "ssme", core.MustNew(ring), true, 150)
+	runBackendMatrix[int](t, "lexclusion", lexclusion.MustNew(grid, 2), true, 150)
+
+	uni, err := unison.New(ring, unison.MinimalParams(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBackendMatrix[int](t, "unison", uni, true, 150)
+
+	uniGrid, err := unison.New(grid, unison.MinimalParams(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBackendMatrix[compose.Pair[int, int]](t, "product",
+		compose.MustNew[int, int](uniGrid, bfstree.MustNew(grid, 4)), true, 120)
 }
 
 // TestProductWithoutLocalFallsBack: a product with a non-Local component

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // StepInfo describes one executed step for hooks and traces.
@@ -22,10 +24,10 @@ type StepInfo struct {
 type Hook func(StepInfo)
 
 // Engine drives one execution of a protocol under a daemon from a given
-// initial configuration. It is deliberately sequential and deterministic:
-// given the same protocol, daemon, initial configuration and seed, it
-// replays the same execution (daemon randomness is drawn from the engine's
-// seeded generator).
+// initial configuration. It is deterministic: given the same protocol,
+// daemon, initial configuration and seed, it replays the same execution
+// (daemon randomness is drawn from the engine's seeded generator) — for
+// every backend, worker count and shard size.
 //
 // When the protocol declares its guard read-sets (the Local capability),
 // the engine maintains the enabled set incrementally: after each step only
@@ -33,6 +35,16 @@ type Hook func(StepInfo)
 // O(Δ·avg-degree) guard evaluations per step instead of O(N). Executions
 // are bitwise identical either way — the tracker is exact, not a heuristic
 // (the differential tests assert this across every protocol and daemon).
+//
+// When the protocol additionally provides the Flat capability (see
+// flat.go), the engine packs the configuration into a []int64 array and
+// evaluates guards and moves with batch kernels — no per-guard interface
+// dispatch, no per-step allocation. Each step is double-buffered: the
+// evaluate phase computes every next state from the frozen packed front
+// buffer (in parallel, contiguous shard by contiguous shard, when the
+// selection is large enough), and only after all shards join does the
+// commit phase merge the staged states back in shard order — which is why
+// executions stay bitwise identical to the sequential generic path.
 type Engine[S comparable] struct {
 	p   Protocol[S]
 	d   Daemon[S]
@@ -46,56 +58,130 @@ type Engine[S comparable] struct {
 	// Round accounting: a round is a minimal execution segment in which
 	// every vertex enabled at the segment's start is activated or
 	// observed disabled — the standard asynchronous time measure of the
-	// self-stabilization literature. owed marks the vertices from the
-	// current round's start that have not yet been discharged; owedList
-	// holds the same set as a compacting list so that settlement costs
-	// O(|owed|) per step, not O(N).
+	// self-stabilization literature. owedList holds, in increasing order,
+	// the vertices from the current round's start not yet discharged;
+	// settlement is a sorted merge against the activated list, so it
+	// costs O(|owed| + Δ) per step with no mark arrays to clear.
 	rounds   int
-	owed     []bool
 	owedList []int
 
 	// Incremental enabled-set maintenance (nil/empty without Local):
-	// influence[v] is {v} ∪ {u : v ∈ Neighbors(u)}, isEnabled mirrors the
-	// maintained enabled list, dirty/dirtyMark are per-step scratch.
+	// influence[v] is {v} ∪ {u : v ∈ Neighbors(u)}, ruleOf mirrors the
+	// maintained enabled list (NoRule = disabled; otherwise the enabled
+	// rule, so steps need no guard re-evaluation at all), dirty/dirtyMark
+	// are per-step scratch.
 	loc        Local
 	influence  [][]int
-	isEnabled  []bool
+	ruleOf     []Rule
 	dirty      []int
 	dirtyMark  []bool
 	enabledAlt []int // spare buffer the merge writes into
 
-	// guardEvals counts EnabledRule calls made by the engine itself
-	// (rescans, incremental refreshes, rule lookups, round settlement).
-	// Guard evaluations a daemon performs internally are not included.
+	// Flat backend state (nil fl ⇒ generic backend). st is the packed
+	// front buffer — the source of truth; cfg is kept as a live decoded
+	// shadow (updated per move), so daemons, hooks and Current() observe
+	// exactly the values the generic backend would.
+	fl       Flat[S]
+	w        int     // words per vertex
+	st       []int64 // packed configuration, vertex-major
+	nextW    []int64 // staged next words, indexed by selection position
+	allVerts []int   // identity list for batch rescans
+	allRules []Rule  // rescan scratch
+
+	// Shard-parallel evaluate phase (see forShards): workers bounds the
+	// fan-out, shardSize the minimum batch per goroutine, shardErrs the
+	// per-shard error slots (merged in shard order for determinism).
+	workers   int
+	shardSize int
+	shardErrs []error
+
+	// guardEvals counts EnabledRule evaluations made by the engine itself
+	// (rescans, incremental refreshes, rule lookups, round settlement),
+	// batch kernels included vertex by vertex. Guard evaluations a daemon
+	// performs internally are not included.
 	guardEvals int64
 
 	// Scratch buffers reused across steps.
-	enabled  []int
-	selected []int
-	rules    []Rule
-	next     []S
+	enabled    []int
+	selected   []int
+	rules      []Rule
+	next       []S
+	dirtyRules []Rule
+	oneV       [1]int
+	oneR       [1]Rule
 }
 
-// NewEngine creates an engine executing p under d starting from initial.
-// The initial configuration is cloned; seed fixes all daemon randomness.
-// If p declares the Local capability the engine starts in incremental
-// mode; DisableIncremental reverts to full rescans.
+// NewEngine creates an engine executing p under d starting from initial,
+// with default Options (automatic backend selection, GOMAXPROCS shard
+// workers). The initial configuration is cloned; seed fixes all daemon
+// randomness. If p declares the Local capability the engine starts in
+// incremental mode; DisableIncremental reverts to full rescans.
 func NewEngine[S comparable](p Protocol[S], d Daemon[S], initial Config[S], seed int64) (*Engine[S], error) {
+	return NewEngineWith(p, d, initial, seed, Options{})
+}
+
+// NewEngineWith is NewEngine with explicit backend/parallelism Options.
+// Executions are bitwise identical for every option choice; only the cost
+// of producing them changes.
+func NewEngineWith[S comparable](p Protocol[S], d Daemon[S], initial Config[S], seed int64, opts Options) (*Engine[S], error) {
 	if err := Validate(p, initial); err != nil {
 		return nil, err
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
 	e := &Engine[S]{
-		p:       p,
-		d:       d,
-		cfg:     initial.Clone(),
-		rng:     rand.New(rand.NewSource(seed)),
-		owed:    make([]bool, p.N()),
-		enabled: make([]int, 0, p.N()),
+		p:         p,
+		d:         d,
+		cfg:       initial.Clone(),
+		rng:       rand.New(rand.NewSource(seed)),
+		enabled:   make([]int, 0, p.N()),
+		workers:   workers,
+		shardSize: shardSize,
+		shardErrs: make([]error, workers),
+	}
+	switch opts.Backend {
+	case BackendAuto:
+		e.fl = FlatOf(p)
+	case BackendFlat:
+		e.fl = FlatOf(p)
+		if e.fl == nil {
+			return nil, fmt.Errorf("sim: %s does not provide the Flat capability", p.Name())
+		}
+	case BackendGeneric:
+	default:
+		return nil, fmt.Errorf("sim: unknown backend %d", opts.Backend)
+	}
+	if e.fl != nil {
+		w := e.fl.FlatWords()
+		if w < 1 {
+			return nil, fmt.Errorf("sim: %s flat codec declares %d words per vertex", p.Name(), w)
+		}
+		e.w = w
+		n := p.N()
+		e.st = make([]int64, n*w)
+		for v := 0; v < n; v++ {
+			e.fl.EncodeState(v, e.cfg[v], e.st[v*w:(v+1)*w])
+		}
+		// Shadow = decode(encode(initial)), so the shadow invariant
+		// cfg[v] == DecodeState(v, st[v*w:]) holds from the first step.
+		for v := 0; v < n; v++ {
+			e.cfg[v] = e.fl.DecodeState(v, e.st[v*w:(v+1)*w])
+		}
+		e.allVerts = make([]int, n)
+		for v := range e.allVerts {
+			e.allVerts[v] = v
+		}
 	}
 	if l := LocalOf(p); l != nil {
 		e.loc = l
 		e.influence = influenceSets(p.N(), l)
-		e.isEnabled = make([]bool, p.N())
+		e.ruleOf = make([]Rule, p.N())
 		e.dirtyMark = make([]bool, p.N())
 		e.seedEnabled()
 	}
@@ -104,29 +190,73 @@ func NewEngine[S comparable](p Protocol[S], d Daemon[S], initial Config[S], seed
 }
 
 // seedEnabled performs the one full guard scan incremental mode needs: it
-// fills isEnabled and the maintained enabled list from the initial
+// fills ruleOf and the maintained enabled list from the initial
 // configuration. Every later update is a dirty-set refresh.
-func (e *Engine[S]) seedEnabled() {
-	e.enabled = e.enabled[:0]
-	for v := 0; v < e.p.N(); v++ {
-		_, ok := e.evalGuard(v)
-		e.isEnabled[v] = ok
-		if ok {
-			e.enabled = append(e.enabled, v)
+func (e *Engine[S]) seedEnabled() { e.refreshDense() }
+
+// refreshDense re-evaluates every guard with batch kernels and rebuilds
+// the enabled list with one sweep — cheaper than dirty-set bookkeeping
+// once a sizable fraction of the vertices fired (the synchronous-daemon
+// regime: no influence-set iteration, no mark churn, no sort).
+func (e *Engine[S]) refreshDense() {
+	n := e.p.N()
+	e.guardEvals += int64(n)
+	if e.fl != nil {
+		e.forShards(n, func(_, lo, hi int) {
+			e.fl.EnabledRuleFlat(e.st, e.w, 0, e.allVerts[lo:hi], e.ruleOf[lo:hi])
+		})
+	} else {
+		e.forShards(n, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				r, ok := e.p.EnabledRule(e.cfg, v)
+				if !ok {
+					r = NoRule
+				}
+				e.ruleOf[v] = r
+			}
+		})
+	}
+	out := e.enabledAlt[:0]
+	for v, r := range e.ruleOf {
+		if r != NoRule {
+			out = append(out, v)
 		}
 	}
+	e.enabledAlt = e.enabled[:0]
+	e.enabled = out
 }
 
-// evalGuard is EnabledRule with accounting.
+// evalGuard is a single-vertex EnabledRule with accounting, dispatched to
+// the active backend.
 func (e *Engine[S]) evalGuard(v int) (Rule, bool) {
 	e.guardEvals++
+	if e.fl != nil {
+		e.oneV[0] = v
+		e.fl.EnabledRuleFlat(e.st, e.w, 0, e.oneV[:], e.oneR[:])
+		return e.oneR[0], e.oneR[0] != NoRule
+	}
 	return e.p.EnabledRule(e.cfg, v)
 }
 
 // rescan recomputes the enabled list with a full guard sweep (the
-// non-incremental path).
+// non-incremental path, and the incremental seed). The flat backend
+// sweeps with sharded batch kernels.
 func (e *Engine[S]) rescan() []int {
-	e.guardEvals += int64(e.p.N())
+	n := e.p.N()
+	e.guardEvals += int64(n)
+	if e.fl != nil {
+		e.allRules = growSlice(e.allRules, n)
+		e.forShards(n, func(_, lo, hi int) {
+			e.fl.EnabledRuleFlat(e.st, e.w, 0, e.allVerts[lo:hi], e.allRules[lo:hi])
+		})
+		e.enabled = e.enabled[:0]
+		for v, r := range e.allRules {
+			if r != NoRule {
+				e.enabled = append(e.enabled, v)
+			}
+		}
+		return e.enabled
+	}
 	e.enabled = Enabled(e.p, e.cfg, e.enabled)
 	return e.enabled
 }
@@ -134,27 +264,23 @@ func (e *Engine[S]) rescan() []int {
 // startRound charges the current enabled set to the new round.
 func (e *Engine[S]) startRound() {
 	e.owedList = append(e.owedList[:0], e.Enabled()...)
-	for _, v := range e.owedList {
-		e.owed[v] = true
-	}
 }
 
 // settleRound discharges owed vertices after a step: a vertex is settled
 // once it has been activated or is observed disabled. When all are
-// settled, a round completes and the next one is charged. The owed list is
-// compacted in place, so settlement touches only the vertices still owed.
+// settled, a round completes and the next one is charged. Both lists are
+// sorted, so one merge pass compacts the owed list in place.
 func (e *Engine[S]) settleRound(activated []int) {
-	for _, v := range activated {
-		e.owed[v] = false
-	}
-	w := 0
+	w, j := 0, 0
 	for _, v := range e.owedList {
-		if !e.owed[v] {
-			continue
+		for j < len(activated) && activated[j] < v {
+			j++
+		}
+		if j < len(activated) && activated[j] == v {
+			continue // discharged by firing
 		}
 		if !e.vertexEnabled(v) {
-			e.owed[v] = false
-			continue
+			continue // observed disabled
 		}
 		e.owedList[w] = v
 		w++
@@ -170,7 +296,7 @@ func (e *Engine[S]) settleRound(activated []int) {
 // incremental mode, a (counted) guard evaluation otherwise.
 func (e *Engine[S]) vertexEnabled(v int) bool {
 	if e.loc != nil {
-		return e.isEnabled[v]
+		return e.ruleOf[v] != NoRule
 	}
 	_, ok := e.evalGuard(v)
 	return ok
@@ -191,8 +317,24 @@ func (e *Engine[S]) Protocol() Protocol[S] { return e.p }
 // Daemon returns the driving daemon.
 func (e *Engine[S]) Daemon() Daemon[S] { return e.d }
 
+// Backend reports the execution representation actually selected:
+// BackendFlat when the engine runs on packed state, BackendGeneric
+// otherwise (never BackendAuto).
+func (e *Engine[S]) Backend() Backend {
+	if e.fl != nil {
+		return BackendFlat
+	}
+	return BackendGeneric
+}
+
+// Workers returns the shard-worker bound of the parallel evaluate phase.
+func (e *Engine[S]) Workers() int { return e.workers }
+
 // Current returns the live configuration. It is shared with the engine and
-// must be treated as read-only; use Snapshot for an owned copy.
+// must be treated as read-only; use Snapshot for an owned copy. On the
+// flat backend this is the decoded shadow, updated in place every step, so
+// the returned slice stays live across steps exactly as on the generic
+// backend.
 func (e *Engine[S]) Current() Config[S] { return e.cfg }
 
 // Snapshot returns an independent copy of the current configuration.
@@ -227,7 +369,7 @@ func (e *Engine[S]) Incremental() bool { return e.loc != nil }
 func (e *Engine[S]) DisableIncremental() {
 	e.loc = nil
 	e.influence = nil
-	e.isEnabled = nil
+	e.ruleOf = nil
 	e.dirty = nil
 	e.dirtyMark = nil
 	e.enabledAlt = nil
@@ -249,8 +391,17 @@ func (e *Engine[S]) Enabled() []int {
 
 // refreshEnabled updates the incremental enabled set after the vertices in
 // activated changed state: every activated vertex's influence set is
-// re-evaluated and the sorted enabled list is patched by a linear merge.
+// re-evaluated (batched, and sharded when large) and the enabled list is
+// patched. Sparse dirty sets are spliced into the sorted list by a linear
+// merge; dense ones — the synchronous-daemon regime, where the dirty set
+// approaches the whole vertex set — skip the bookkeeping and re-scan with
+// batch kernels (refreshDense). Every strategy produces the identical
+// sorted enabled list.
 func (e *Engine[S]) refreshEnabled(activated []int) {
+	if 4*len(activated) >= e.p.N() {
+		e.refreshDense()
+		return
+	}
 	e.dirty = e.dirty[:0]
 	for _, v := range activated {
 		for _, u := range e.influence[v] {
@@ -260,11 +411,46 @@ func (e *Engine[S]) refreshEnabled(activated []int) {
 			}
 		}
 	}
-	sort.Ints(e.dirty)
-	for _, u := range e.dirty {
-		_, ok := e.evalGuard(u)
-		e.isEnabled[u] = ok
-		e.dirtyMark[u] = false
+	n := e.p.N()
+	k := len(e.dirty)
+	dense := 4*k >= n
+	if !dense {
+		sort.Ints(e.dirty)
+	}
+	e.guardEvals += int64(k)
+	if e.fl != nil {
+		e.dirtyRules = growSlice(e.dirtyRules, k)
+		e.forShards(k, func(_, lo, hi int) {
+			e.fl.EnabledRuleFlat(e.st, e.w, 0, e.dirty[lo:hi], e.dirtyRules[lo:hi])
+		})
+		for i, u := range e.dirty {
+			e.ruleOf[u] = e.dirtyRules[i]
+			e.dirtyMark[u] = false
+		}
+	} else {
+		e.forShards(k, func(_, lo, hi int) {
+			for _, u := range e.dirty[lo:hi] {
+				r, ok := e.p.EnabledRule(e.cfg, u)
+				if !ok {
+					r = NoRule
+				}
+				e.ruleOf[u] = r
+			}
+		})
+		for _, u := range e.dirty {
+			e.dirtyMark[u] = false
+		}
+	}
+	if dense {
+		out := e.enabledAlt[:0]
+		for v, r := range e.ruleOf {
+			if r != NoRule {
+				out = append(out, v)
+			}
+		}
+		e.enabledAlt = e.enabled[:0]
+		e.enabled = out
+		return
 	}
 	// Merge: keep non-dirty entries of the old enabled list, splice dirty
 	// vertices back in by their fresh enabledness. Both inputs are sorted,
@@ -280,7 +466,7 @@ func (e *Engine[S]) refreshEnabled(activated []int) {
 			if i < len(e.enabled) && e.enabled[i] == e.dirty[j] {
 				i++
 			}
-			if e.isEnabled[e.dirty[j]] {
+			if e.ruleOf[e.dirty[j]] != NoRule {
 				out = append(out, e.dirty[j])
 			}
 			j++
@@ -301,8 +487,9 @@ var ErrDaemonSelection = errors.New("sim: daemon returned an invalid selection")
 //
 // All activated vertices read the same pre-state γ and write γ′ together,
 // which is exactly the paper's notion of an action: the engine first
-// computes every next state from the unmodified configuration, then
-// commits them.
+// computes every next state from the unmodified configuration (the
+// evaluate phase — sharded across workers for large selections), then
+// commits them in shard order.
 func (e *Engine[S]) Step() (bool, error) {
 	enabled := e.Enabled()
 	if len(enabled) == 0 {
@@ -313,19 +500,16 @@ func (e *Engine[S]) Step() (bool, error) {
 		return false, fmt.Errorf("%w: empty selection by %s", ErrDaemonSelection, e.d.Name())
 	}
 	e.selected = append(e.selected[:0], sel...)
-	e.rules = e.rules[:0]
-	e.next = e.next[:0]
-	for _, v := range e.selected {
-		r, ok := e.evalGuard(v)
-		if !ok {
-			return false, fmt.Errorf("%w: %s selected disabled vertex %d", ErrDaemonSelection, e.d.Name(), v)
-		}
-		e.rules = append(e.rules, r)
-		e.next = append(e.next, e.p.Apply(e.cfg, v, r))
+	if !sort.IntsAreSorted(e.selected) {
+		// Daemons normally select in increasing id order (StepInfo
+		// documents it); normalize the rare exception so the sorted-merge
+		// round settlement and the hook contract stay valid.
+		sort.Ints(e.selected)
 	}
-	for i, v := range e.selected {
-		e.cfg[v] = e.next[i]
+	if err := e.evalMoves(); err != nil {
+		return false, err
 	}
+	e.commitMoves()
 	e.steps++
 	e.moves += len(e.selected)
 	if e.loc != nil {
@@ -336,6 +520,151 @@ func (e *Engine[S]) Step() (bool, error) {
 		e.hook(StepInfo{Step: e.steps, Activated: e.selected, Rules: e.rules})
 	}
 	return true, nil
+}
+
+// evalMoves is the evaluate phase: rules and next states of every selected
+// vertex are computed against the frozen pre-state, shard by shard. In
+// incremental mode the rules come straight from the maintained ruleOf
+// table — no guard re-evaluation at all; otherwise guards are (re-)
+// evaluated and counted. Shard errors (a daemon selecting a disabled
+// vertex) are merged in shard order, so the reported vertex is
+// deterministic.
+func (e *Engine[S]) evalMoves() error {
+	k := len(e.selected)
+	e.rules = growSlice(e.rules, k)
+	if e.fl != nil {
+		e.nextW = growSlice(e.nextW, k*e.w)
+	} else {
+		e.next = growSlice(e.next, k)
+	}
+	if e.loc != nil {
+		for i, v := range e.selected {
+			r := e.ruleOf[v]
+			if r == NoRule {
+				return fmt.Errorf("%w: %s selected disabled vertex %d", ErrDaemonSelection, e.d.Name(), v)
+			}
+			e.rules[i] = r
+		}
+	} else {
+		e.guardEvals += int64(k)
+	}
+	shards := e.forShards(k, func(sh, lo, hi int) {
+		e.shardErrs[sh] = e.evalMoveRange(lo, hi)
+	})
+	for sh := 0; sh < shards; sh++ {
+		if e.shardErrs[sh] != nil {
+			return e.shardErrs[sh]
+		}
+	}
+	return nil
+}
+
+// evalMoveRange evaluates one contiguous shard of the selection. Rules are
+// already filled in incremental mode (evalMoves); otherwise they are
+// evaluated here against the frozen pre-state.
+func (e *Engine[S]) evalMoveRange(lo, hi int) error {
+	vs := e.selected[lo:hi]
+	rules := e.rules[lo:hi]
+	if e.fl != nil {
+		if e.loc == nil {
+			e.fl.EnabledRuleFlat(e.st, e.w, 0, vs, rules)
+			for i, r := range rules {
+				if r == NoRule {
+					return fmt.Errorf("%w: %s selected disabled vertex %d", ErrDaemonSelection, e.d.Name(), vs[i])
+				}
+			}
+		}
+		e.fl.ApplyFlat(e.st, e.w, 0, vs, rules, e.nextW[lo*e.w:hi*e.w], e.w, 0)
+		return nil
+	}
+	if e.loc == nil {
+		for i, v := range vs {
+			r, ok := e.p.EnabledRule(e.cfg, v)
+			if !ok {
+				return fmt.Errorf("%w: %s selected disabled vertex %d", ErrDaemonSelection, e.d.Name(), v)
+			}
+			rules[i] = r
+		}
+	}
+	for i, v := range vs {
+		e.next[lo+i] = e.p.Apply(e.cfg, v, rules[i])
+	}
+	return nil
+}
+
+// commitMoves merges the staged next states into the live configuration —
+// and, on the flat backend, refreshes the decoded shadow for the touched
+// vertices so cfg stays exactly decode(st). Writes are per-vertex disjoint,
+// so large commits shard across workers like the evaluate phase.
+func (e *Engine[S]) commitMoves() {
+	if e.fl != nil {
+		w := e.w
+		e.forShards(len(e.selected), func(_, lo, hi int) {
+			if w == 1 {
+				for i := lo; i < hi; i++ {
+					e.st[e.selected[i]] = e.nextW[i]
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					v := e.selected[i]
+					copy(e.st[v*w:(v+1)*w], e.nextW[i*w:(i+1)*w])
+				}
+			}
+			e.fl.DecodeStates(e.st, w, 0, e.selected[lo:hi], e.cfg)
+		})
+		return
+	}
+	e.forShards(len(e.selected), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.cfg[e.selected[i]] = e.next[i]
+		}
+	})
+}
+
+// forShards runs f over contiguous ranges covering [0, k) and returns the
+// number of ranges. Work below the shard-size threshold (or with a single
+// worker) runs inline; otherwise ranges are dispatched to goroutines and
+// joined before returning. f must write only to disjoint index-addressed
+// slots (rules[i], nextW[i*w:], ruleOf[vs[i]], shardErrs[shard]) — the
+// shard boundaries depend only on k, the shard size and the worker bound,
+// never on timing, so results are identical for every worker count.
+func (e *Engine[S]) forShards(k int, f func(shard, lo, hi int)) int {
+	if k == 0 {
+		return 0
+	}
+	if e.workers <= 1 || k <= e.shardSize {
+		f(0, 0, k)
+		return 1
+	}
+	size := e.shardSize
+	if s := (k + e.workers - 1) / e.workers; s > size {
+		size = s
+	}
+	shards := (k + size - 1) / size
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for sh := 0; sh < shards; sh++ {
+		lo := sh * size
+		hi := lo + size
+		if hi > k {
+			hi = k
+		}
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			f(sh, lo, hi)
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	return shards
+}
+
+// growSlice returns buf resized to length k, reallocating only when the
+// capacity is insufficient (contents are overwritten by the caller).
+func growSlice[T any](buf []T, k int) []T {
+	if cap(buf) < k {
+		return make([]T, k)
+	}
+	return buf[:k]
 }
 
 // Run executes at most maxSteps transitions, stopping early when until

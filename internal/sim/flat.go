@@ -1,0 +1,183 @@
+package sim
+
+// The flat execution backend (DESIGN.md §6). The generic engine pays one
+// interface call per guard evaluation and one per move, over a boxed
+// Config[S] slice. At the scales the speculation experiments target
+// (rings of 10⁵–10⁶ vertices under the synchronous daemon) that dispatch
+// dominates the step loop. A protocol may therefore additionally provide
+// the Flat capability: a codec packing each vertex state into a fixed
+// number of int64 words plus *batch* guard/apply kernels operating
+// directly on the packed array — one interface call per vertex batch
+// instead of per vertex, no per-step allocation, and neighbor access via
+// compressed-sparse-row offsets (internal/graph.CSR) instead of nested
+// slices.
+//
+// The packed configuration is laid out vertex-major: with stride words per
+// vertex, vertex v's record occupies st[v*stride+base : v*stride+base+W]
+// where W = FlatWords(). The explicit stride/base pair is what makes
+// compositions free: compose.Product packs component A's words and
+// component B's words side by side in one record and hands each component
+// the same array with a shifted base — no projection copies.
+//
+// Soundness contract: for every configuration c and its packed image,
+// EnabledRuleFlat and ApplyFlat must agree exactly with EnabledRule and
+// Apply, and EncodeState/DecodeState must round-trip every state the
+// protocol can produce. The engine keeps the decoded Config[S] as a live
+// shadow (so daemons, hooks and Current() observe identical values either
+// way) and the differential tests drive both backends through every
+// protocol × daemon family, asserting bitwise identical executions.
+
+// Flat is the optional flat-execution capability of a Protocol.
+// Implementations must be pure and safe for concurrent callers: the
+// engine's shard-parallel step invokes the batch kernels from multiple
+// goroutines against a frozen packed configuration.
+type Flat[S comparable] interface {
+	// FlatWords returns W, the number of int64 words per vertex state
+	// (≥ 1, constant for the protocol's lifetime).
+	FlatWords() int
+	// EncodeState packs vertex v's state into dst[0:W].
+	EncodeState(v int, s S, dst []int64)
+	// DecodeState unpacks vertex v's state from src[0:W].
+	DecodeState(v int, src []int64) S
+	// DecodeStates unpacks the states of every vertex in vs from the
+	// packed configuration st into cfg[vs[i]] — the batch form the engine
+	// uses to refresh its decoded shadow after each commit (one interface
+	// call per shard instead of one per move).
+	DecodeStates(st []int64, stride, base int, vs []int, cfg Config[S])
+	// EnabledRuleFlat evaluates the guard of every vertex in vs against
+	// the packed configuration st (vertex v's words at
+	// st[v*stride+base:]), writing the enabled rule — or NoRule — into
+	// rules[i] for vs[i]. len(rules) == len(vs).
+	EnabledRuleFlat(st []int64, stride, base int, vs []int, rules []Rule)
+	// ApplyFlat computes the next state of every vertex in vs, whose
+	// enabled rule is rules[i], writing vs[i]'s next words at
+	// out[i*outStride+outBase:]. It must only be called with rules
+	// reported by EnabledRuleFlat and must not write st.
+	ApplyFlat(st []int64, stride, base int, vs []int, rules []Rule, out []int64, outStride, outBase int)
+}
+
+// IntWord is an embeddable one-word codec for protocols whose per-vertex
+// state is a plain int (every clock/counter/level protocol of this
+// repository): it provides the packing half of sim.Flat[int], leaving the
+// embedding protocol to implement only the batch guard/apply kernels.
+type IntWord struct{}
+
+// FlatWords implements sim.Flat: one word.
+func (IntWord) FlatWords() int { return 1 }
+
+// EncodeState implements sim.Flat.
+func (IntWord) EncodeState(_ int, s int, dst []int64) { dst[0] = int64(s) }
+
+// DecodeState implements sim.Flat.
+func (IntWord) DecodeState(_ int, src []int64) int { return int(src[0]) }
+
+// DecodeStates implements sim.Flat (the batch shadow refresh).
+func (IntWord) DecodeStates(st []int64, stride, base int, vs []int, cfg Config[int]) {
+	if stride == 1 && base == 0 {
+		for _, v := range vs {
+			cfg[v] = int(st[v])
+		}
+		return
+	}
+	for _, v := range vs {
+		cfg[v] = int(st[v*stride+base])
+	}
+}
+
+// flatProvider is the optional hook for wrapper protocols whose flat
+// capability is conditional on their components (e.g. compose.Product):
+// when implemented it takes precedence over a direct Flat implementation,
+// and returning ok=false opts out.
+type flatProvider[S comparable] interface {
+	Flat() (Flat[S], bool)
+}
+
+// FlatOf returns p's flat codec, or nil when p does not provide one (the
+// engine then runs the generic backend).
+func FlatOf[S comparable](p Protocol[S]) Flat[S] {
+	if fp, ok := any(p).(flatProvider[S]); ok {
+		f, declared := fp.Flat()
+		if !declared {
+			return nil
+		}
+		return f
+	}
+	if f, ok := any(p).(Flat[S]); ok {
+		return f
+	}
+	return nil
+}
+
+// RuleBounded is an optional capability declaring a static upper bound on
+// the protocol's rule values: every rule EnabledRule can report lies in
+// [1, MaxRule()]. Wrappers use it to pre-intern derived rule spaces
+// deterministically (compose.Product builds its full pair table at
+// construction, making guard evaluation lock-free and rule numbering
+// independent of encounter order — the property the shard-parallel step
+// and the worker-count-invariance tests rely on).
+type RuleBounded interface {
+	// MaxRule returns the largest rule value the protocol uses; a return
+	// of 0 (NoRule) means the bound is unknown.
+	MaxRule() Rule
+}
+
+// MaxRuleOf returns p's declared rule bound, or (0, false) when p does
+// not declare one.
+func MaxRuleOf[S comparable](p Protocol[S]) (Rule, bool) {
+	if rb, ok := any(p).(RuleBounded); ok {
+		if r := rb.MaxRule(); r > 0 {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Backend selects the engine's execution representation.
+type Backend int
+
+const (
+	// BackendAuto picks BackendFlat when the protocol provides the Flat
+	// capability and BackendGeneric otherwise. The default.
+	BackendAuto Backend = iota
+	// BackendGeneric forces interface-dispatched execution over Config[S].
+	BackendGeneric
+	// BackendFlat forces packed execution; engine construction fails if
+	// the protocol does not provide Flat.
+	BackendFlat
+)
+
+// String renders the selector for reports and flags.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendGeneric:
+		return "generic"
+	case BackendFlat:
+		return "flat"
+	default:
+		return "backend(?)"
+	}
+}
+
+// DefaultShardSize is the minimum batch width per shard of the parallel
+// evaluate phase: selections (or dirty sets) smaller than this are
+// evaluated inline — spawning goroutines for a handful of guards costs
+// more than it saves.
+const DefaultShardSize = 4096
+
+// Options configures engine construction beyond the mandatory arguments
+// of NewEngine. The zero value means: automatic backend selection,
+// GOMAXPROCS shard workers, DefaultShardSize shards. Every option choice
+// produces bitwise identical executions — only throughput changes.
+type Options struct {
+	// Backend selects the execution representation (default BackendAuto).
+	Backend Backend
+	// Workers bounds the goroutines of the shard-parallel evaluate phase;
+	// 0 means GOMAXPROCS, 1 disables parallelism.
+	Workers int
+	// ShardSize is the minimum number of vertices per shard (0 means
+	// DefaultShardSize). Tests lower it to force parallel evaluation on
+	// small graphs.
+	ShardSize int
+}

@@ -22,7 +22,12 @@
 // Protocols may additionally declare their guard read-sets (the Local
 // capability, DESIGN.md §6); the Engine then maintains the enabled set
 // incrementally — only activated vertices and their read-set closures are
-// re-evaluated after each step — without changing executions.
+// re-evaluated after each step — without changing executions. They may
+// further provide a packed-state codec (the Flat capability, flat.go):
+// the Engine then runs on a []int64 array with batch guard/apply kernels
+// and a double-buffered, shard-parallel synchronous step — again without
+// changing executions (the differential tests assert bitwise identity
+// across backends and worker counts).
 package sim
 
 import (

@@ -1,0 +1,180 @@
+package unison
+
+// Flat execution codec (sim.Flat, DESIGN.md §6): one int64 word per
+// vertex holding the cherry clock value, guards evaluated in a single
+// pass over the graph's CSR adjacency with inlined clock arithmetic —
+// no interface dispatch per guard, no allocation, no Config[S] boxing.
+// The kernels below mirror EnabledRule/Apply line by line; the flat
+// conformance and differential tests assert exact agreement.
+
+import "specstab/internal/sim"
+
+// EnabledRuleFlat implements sim.Flat with the guards of Algorithm 1.
+// For each vertex one CSR row sweep simultaneously tracks the three
+// universally quantified predicates:
+//
+//	ac   — allCorrect_v: r_v ∈ stabX ∧ ∀u (r_u ∈ stabX ∧ d_K(r_v,r_u) ≤ 1)
+//	leq  — ∀u, r_v ≤_l r_u (the normal-step minimality condition)
+//	conv — r_v ∈ init*X ∧ ∀u (r_u ∈ initX ∧ r_v ≤ r_u)
+//
+// and the rule selection reproduces EnabledRule's order: NA, then CA,
+// then RA when ¬allCorrect ∧ r_v ∉ initX.
+func (p *Protocol) EnabledRuleFlat(st []int64, stride, base int, vs []int, rules []sim.Rule) {
+	if stride == 1 && base == 0 {
+		p.enabledRuleFlatUnit(st, vs, rules)
+		return
+	}
+	csr := p.g.CSR()
+	off, tgt := csr.Offsets, csr.Targets
+	alpha, k := int64(p.x.Alpha), int64(p.x.K)
+	for i, v := range vs {
+		rv := st[v*stride+base]
+		ac := rv >= 0 && rv < k // r_v ∈ stabX
+		leq := true
+		conv := rv >= -alpha && rv < 0 // r_v ∈ init*X
+		for j := off[v]; j < off[v+1]; j++ {
+			ru := st[int(tgt[j])*stride+base]
+			if ac {
+				if ru < 0 || ru >= k {
+					ac = false
+				} else {
+					d := (rv - ru) % k
+					if d < 0 {
+						d += k
+					}
+					if d != 0 && d != 1 && d != k-1 { // d_K(r_v, r_u) > 1
+						ac = false
+					}
+				}
+			}
+			if leq {
+				d := (ru - rv) % k
+				if d < 0 {
+					d += k
+				}
+				if d != 0 && d != 1 { // ¬(r_v ≤_l r_u)
+					leq = false
+				}
+			}
+			if conv {
+				if ru < -alpha || ru > 0 || rv > ru { // r_u ∉ initX ∨ r_v > r_u
+					conv = false
+				}
+			}
+			if !ac && !leq && !conv {
+				break
+			}
+		}
+		switch {
+		case ac && leq:
+			rules[i] = RuleNA
+		case conv:
+			rules[i] = RuleCA
+		case !ac && !(rv >= -alpha && rv <= 0): // ¬allCorrect ∧ r_v ∉ initX
+			rules[i] = RuleRA
+		default:
+			rules[i] = sim.NoRule
+		}
+	}
+}
+
+// enabledRuleFlatUnit is EnabledRuleFlat for the unit-stride layout the
+// engine uses directly (stride 1, base 0) — same guards, with the modular
+// arithmetic done by range reduction instead of integer division: cherry
+// values lie in [−α, K), so differences lie in (−(K+α), K+α) and a couple
+// of conditional ±K corrections compute the exact Mod/d_K results (idiv is
+// ~30 cycles and would dominate the batch kernel).
+func (p *Protocol) enabledRuleFlatUnit(st []int64, vs []int, rules []sim.Rule) {
+	csr := p.g.CSR()
+	off, tgt := csr.Offsets, csr.Targets
+	alpha, k := int64(p.x.Alpha), int64(p.x.K)
+	for i, v := range vs {
+		rv := st[v]
+		row := tgt[off[v]:off[v+1]]
+		switch {
+		case rv >= 0 && rv < k:
+			// r_v ∈ stabX: only NA is reachable (conv needs r_v < 0); RA
+			// needs ¬allCorrect ∧ r_v ∉ initX, i.e. r_v ≥ 1. One pass
+			// tracks allCorrect and the ≤_l minimality; allCorrect
+			// failing settles the outcome immediately.
+			leq := true
+			rule := sim.NoRule
+			if rv >= 1 {
+				rule = RuleRA // outcome if allCorrect fails
+			}
+			for _, u := range row {
+				ru := st[u]
+				if ru < 0 || ru >= k {
+					goto done // ¬allCorrect
+				}
+				// Both in [0, K): d_K ≤ 1 ⇔ |r_v−r_u| ∈ {0, 1, K−1},
+				// and Mod(r_u−r_v) needs one conditional +K at most.
+				d := rv - ru
+				if d < 0 {
+					d = -d
+				}
+				if d > 1 && d != k-1 {
+					goto done // ¬allCorrect
+				}
+				l := ru - rv
+				if l < 0 {
+					l += k
+				}
+				if l > 1 {
+					leq = false
+				}
+			}
+			if leq {
+				rule = RuleNA // allCorrect ∧ minimal
+			} else {
+				rule = sim.NoRule // allCorrect but not minimal: no rule fires
+			}
+		done:
+			rules[i] = rule
+		case rv < 0 && rv >= -alpha: // r_v ∈ init*X (−α ≤ r_v < 0)
+			// Only CA is reachable: ¬allCorrect holds (r_v ∉ stabX) but
+			// r_v ∈ initX blocks RA.
+			rules[i] = RuleCA
+			for _, u := range row {
+				ru := st[u]
+				if ru < -alpha || ru > 0 || rv > ru {
+					rules[i] = sim.NoRule
+					break
+				}
+			}
+		default:
+			// r_v outside the cherry entirely: ¬allCorrect ∧ r_v ∉ initX.
+			rules[i] = RuleRA
+		}
+	}
+}
+
+// ApplyFlat implements sim.Flat: φ for NA/CA, the reset value −α for RA.
+func (p *Protocol) ApplyFlat(st []int64, stride, base int, vs []int, rules []sim.Rule, out []int64, outStride, outBase int) {
+	alpha, k := int64(p.x.Alpha), int64(p.x.K)
+	for i, v := range vs {
+		rv := st[v*stride+base]
+		var next int64
+		switch rules[i] {
+		case RuleNA, RuleCA:
+			// φ: NA fires only with r_v ∈ [0, K) and CA only with r_v < 0,
+			// so the increment wraps at exactly K.
+			next = rv + 1
+			if next >= k {
+				next = 0
+			}
+		case RuleRA:
+			next = -alpha
+		default:
+			panic("unison: flat apply of unknown rule")
+		}
+		out[i*outStride+outBase] = next
+	}
+}
+
+var _ sim.Flat[int] = (*Protocol)(nil)
+
+// MaxRule implements sim.RuleBounded: rules are NA, CA, RA.
+func (p *Protocol) MaxRule() sim.Rule { return RuleRA }
+
+var _ sim.RuleBounded = (*Protocol)(nil)

@@ -36,6 +36,8 @@ const (
 // Protocol is the unison protocol bound to a graph and a bounded clock.
 // Its state type is int: the clock value held by each register r_v.
 type Protocol struct {
+	sim.IntWord // packing half of the flat codec (see flat.go)
+
 	g *graph.Graph
 	x clock.Clock
 }
