@@ -21,6 +21,22 @@ func TestRunTinyCampaign(t *testing.T) {
 	}
 }
 
+func TestRunServiceCampaign(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "ring", "-n", "8", "-daemon", "sync", "-bursts", "2", "-service"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"service fault campaign", "client-observed recoveries", "stall ticks", "service totals", "grants/tick"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("service report missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Fatalf("service campaign reports a failed recovery:\n%s", s)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-daemon", "nonsense"}, &out); err == nil {

@@ -1,0 +1,194 @@
+// Command locksim drives the mutual-exclusion service layer: a lock
+// protocol (SSME, Dijkstra's token ring, or ℓ-exclusion) under a chosen
+// daemon serves an open- or closed-loop client population through the
+// grant adapter of internal/service, optionally under a live fault storm,
+// and reports service-level metrics — grant latency percentiles,
+// grants/tick, fairness, starvation, unsafe exposure, and per-burst
+// client-observed recovery.
+//
+// Examples:
+//
+//	locksim -protocol ssme -topology ring -n 64 -daemon sync -clients 1000 -ticks 20000
+//	locksim -protocol dijkstra -n 32 -workload open -rate 0.8 -ticks 5000
+//	locksim -protocol ssme -n 16 -bursts 3 -corrupt 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"specstab/internal/cli"
+	"specstab/internal/core"
+	"specstab/internal/dijkstra"
+	"specstab/internal/graph"
+	"specstab/internal/lexclusion"
+	"specstab/internal/service"
+	"specstab/internal/sim"
+	"specstab/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "locksim:", err)
+		os.Exit(1)
+	}
+}
+
+// buildLock constructs the named lock on g, returning the lock, a
+// legitimate initial configuration and the service capacity. topology is
+// the raw flag value: Dijkstra's protocol is ring-only, so anything else
+// is rejected rather than silently substituted.
+func buildLock(name, topology string, g *graph.Graph, l int) (service.Lock, sim.Config[int], int, error) {
+	switch name {
+	case "ssme":
+		p, err := core.New(g)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return p, make(sim.Config[int], g.N()), 1, nil
+	case "dijkstra":
+		if topology != "ring" {
+			return nil, nil, 0, fmt.Errorf("dijkstra runs on unidirectional rings only, not -topology %s", topology)
+		}
+		p, err := dijkstra.New(g.N(), g.N())
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return p, make(sim.Config[int], g.N()), 1, nil
+	case "lexclusion":
+		p, err := lexclusion.New(g, l)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		initial, err := p.UniformConfig(0)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return p, initial, p.L(), nil
+	default:
+		return nil, nil, 0, fmt.Errorf("unknown protocol %q (ssme, dijkstra, lexclusion)", name)
+	}
+}
+
+// run is the testable entry point: flags are parsed from args and the
+// report written to out (the smoke tests drive it directly).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("locksim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		protocol   = fs.String("protocol", "ssme", "lock protocol: ssme, dijkstra, lexclusion")
+		topology   = fs.String("topology", "ring", "topology: "+cli.Topologies)
+		n          = fs.Int("n", 12, "number of vertices")
+		lval       = fs.Int("l", 2, "concurrency level ℓ (lexclusion only)")
+		daemonName = fs.String("daemon", "sync", "daemon: "+cli.Daemons)
+		prob       = fs.Float64("p", 0.5, "activation probability of the distributed daemon")
+		workload   = fs.String("workload", "closed", "arrival process: closed, open")
+		clients    = fs.Int("clients", 0, "closed-loop population (0 = 2n)")
+		rate       = fs.Float64("rate", 0.5, "open-loop arrivals per tick")
+		thinkMin   = fs.Int("think", 0, "closed-loop minimum think time (ticks)")
+		thinkMax   = fs.Int("thinkmax", 3, "closed-loop maximum think time (ticks)")
+		hold       = fs.Int("hold", 1, "critical-section hold time (ticks)")
+		ticks      = fs.Int("ticks", 0, "service ticks to run (0 = one service window)")
+		bursts     = fs.Int("bursts", 0, "fault bursts to inject mid-service (0 = none)")
+		corrupt    = fs.Int("corrupt", 0, "registers corrupted per burst (0 = all)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		backend    = fs.String("backend", "auto", "engine backend: "+cli.Backends)
+		workers    = fs.Int("workers", 0, "engine shard workers (0 = GOMAXPROCS); executions are identical for every value")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := cli.ParseTopology(*topology, *n, *seed)
+	if err != nil {
+		return err
+	}
+	lock, initial, capacity, err := buildLock(*protocol, *topology, g, *lval)
+	if err != nil {
+		return err
+	}
+	d, err := cli.ParseDaemon[int](*daemonName, g.N(), *prob)
+	if err != nil {
+		return err
+	}
+	engOpts, err := cli.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	engOpts.Workers = *workers
+
+	var wl service.Workload
+	switch *workload {
+	case "closed":
+		c := *clients
+		if c <= 0 {
+			c = 2 * g.N()
+		}
+		wl, err = service.NewClosedLoop(g.N(), c, *thinkMin, *thinkMax)
+	case "open":
+		wl, err = service.NewOpenLoop(g.N(), *rate)
+	default:
+		err = fmt.Errorf("unknown workload %q (closed, open)", *workload)
+	}
+	if err != nil {
+		return err
+	}
+
+	s, err := service.New(lock, d, initial, *seed, wl,
+		service.Options{Hold: *hold, Capacity: capacity, Engine: engOpts})
+	if err != nil {
+		return err
+	}
+
+	window := serviceWindow(lock, g)
+	runTicks := *ticks
+	if runTicks <= 0 {
+		runTicks = window
+	}
+
+	fmt.Fprintf(out, "lock service: %s under %s, %s, capacity %d, hold %d (%s backend)\n\n",
+		lock.Name(), d.Name(), wl.Name(), capacity, *hold, s.Engine().Backend())
+
+	if *bursts > 0 {
+		recs, err := s.Storm(*bursts, service.StormOptions{
+			WarmTicks:    runTicks,
+			Corrupt:      *corrupt,
+			HorizonTicks: 8 * window,
+			SettleTicks:  window / 2,
+		})
+		if err != nil {
+			return err
+		}
+		table := stats.NewTable("fault storm — client-observed recovery",
+			"burst", "at tick", "resumed", "stall ticks", "legit ticks",
+			"unsafe ticks", "pre grants/tick", "post p95 lat")
+		for i, rec := range recs {
+			legit := fmt.Sprintf("%d", rec.LegitTicks)
+			if rec.LegitTicks < 0 {
+				legit = "—"
+			}
+			table.AddRow(i+1, rec.BurstTick, rec.Resumed, rec.StallTicks, legit,
+				rec.UnsafeTicks, fmt.Sprintf("%.4f", rec.Pre.GrantsPerTick), rec.Post.LatP95)
+		}
+		fmt.Fprintln(out, table)
+	} else if _, err := s.Run(runTicks); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "service totals")
+	fmt.Fprintln(out, "==============")
+	fmt.Fprint(out, s.Totals().Render())
+	return nil
+}
+
+// serviceWindow returns a tick window covering at least one privilege
+// rotation of the lock, used as the default run length and storm warm-up.
+func serviceWindow(lock service.Lock, g *graph.Graph) int {
+	type windower interface{ ServiceWindow() int }
+	if w, ok := lock.(windower); ok {
+		return w.ServiceWindow()
+	}
+	return 8 * g.N() // Dijkstra's token laps the ring in n steps
+}

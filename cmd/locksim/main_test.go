@@ -1,0 +1,77 @@
+package main
+
+// Smoke tests: flag parsing, one service run per protocol, and a storm.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunClosedLoopSSME(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "ssme", "-n", "8", "-ticks", "400"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"lock service", "SSME@ring-8", "service totals", "grants/tick", "jain"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunOpenLoopDijkstra(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "dijkstra", "-n", "8", "-workload", "open", "-rate", "0.4", "-ticks", "200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dijkstra-kstate") {
+		t.Fatalf("report missing protocol name:\n%s", out.String())
+	}
+}
+
+func TestRunStormLExclusion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "lexclusion", "-n", "8", "-l", "2", "-bursts", "1", "-ticks", "300"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fault storm", "stall ticks", "legit ticks"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("storm report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBackendsAgree(t *testing.T) {
+	drive := func(backend string) string {
+		var out bytes.Buffer
+		if err := run([]string{"-protocol", "ssme", "-n", "9", "-daemon", "distributed",
+			"-ticks", "300", "-backend", backend}, &out); err != nil {
+			t.Fatal(err)
+		}
+		// Strip the header line, which names the backend.
+		_, rest, _ := strings.Cut(out.String(), "\n")
+		return rest
+	}
+	if drive("generic") != drive("flat") {
+		t.Fatal("service reports diverge between generic and flat backends")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-protocol", "nonsense"},
+		{"-protocol", "dijkstra", "-topology", "grid"},
+		{"-workload", "nonsense"},
+		{"-daemon", "nonsense"},
+		{"-backend", "nonsense"},
+		{"-bogus"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("want error for %v", args)
+		}
+	}
+}

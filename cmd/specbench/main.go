@@ -1,5 +1,5 @@
 // Command specbench regenerates the paper's "evaluation": every experiment
-// of DESIGN.md §4 (E1–E12), printed as plain-text tables or CSV.
+// of DESIGN.md §4 (E1–E13), printed as plain-text tables or CSV.
 //
 // Usage:
 //
@@ -30,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		expID   = flag.String("experiment", "", "experiment id (e1..e12); empty runs all")
+		expID   = flag.String("experiment", "", "experiment id (e1..e13); empty runs all")
 		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
 		seed    = flag.Int64("seed", 1, "random seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")

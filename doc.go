@@ -34,4 +34,12 @@
 //     over a worker pool (one Engine+Daemon per worker); per-trial seeds
 //     are fixed before the fan-out and results fold in trial order, so
 //     tables are identical for every worker count.
+//
+// On top of the substrate, internal/service turns privileges into a
+// mutual-exclusion service: client populations (open- and closed-loop, up
+// to millions of clients) queue at the vertices, a grant adapter maps
+// per-step privilege sets to critical-section grants, live fault storms
+// hit the running engine (sim.Engine.SetConfig), and recovery is measured
+// as clients observe it — grant latency, throughput, fairness, starvation
+// (E13, cmd/locksim, BENCH_service.json).
 package specstab

@@ -78,6 +78,24 @@ func split(n int) (rows, cols int) {
 	return rows, n / rows
 }
 
+// Backends lists the -backend values understood by ParseBackend.
+const Backends = "auto, generic, flat"
+
+// ParseBackend resolves a -backend flag value to engine Options.
+// Executions are bitwise identical for every choice (DESIGN.md §6).
+func ParseBackend(name string) (sim.Options, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return sim.Options{Backend: sim.BackendAuto}, nil
+	case "generic":
+		return sim.Options{Backend: sim.BackendGeneric}, nil
+	case "flat":
+		return sim.Options{Backend: sim.BackendFlat}, nil
+	default:
+		return sim.Options{}, fmt.Errorf("unknown backend %q (choose from: %s)", name, Backends)
+	}
+}
+
 // Daemons lists the -daemon values understood by ParseDaemon.
 const Daemons = "sync, central, roundrobin, minid, maxid, distributed"
 

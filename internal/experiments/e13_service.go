@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specstab/internal/core"
+	"specstab/internal/daemon"
+	"specstab/internal/dijkstra"
+	"specstab/internal/graph"
+	"specstab/internal/lexclusion"
+	"specstab/internal/service"
+	"specstab/internal/sim"
+	"specstab/internal/speculation"
+	"specstab/internal/stats"
+)
+
+// E13Service measures the paper's promise at the layer it was made for:
+// mutual exclusion as a long-lived *service*. The grant adapter of
+// internal/service turns privilege sets into client grants; fault storms
+// hit the running service; and recovery is scored in client-observed time
+// (grant-stream stall, latency degradation) next to protocol-observed
+// time (legitimacy re-entry). Three tables:
+//
+//   - E13a: service curves across lock × daemon × fault intensity — pre-
+//     fault throughput, stall and legitimacy recovery, unsafe exposure,
+//     fairness. The Dijkstra rows show the converse trade-off: the token
+//     ring never stalls (some privilege always exists) but serves
+//     *unsafely* during recovery, while SSME stalls briefly and exposes
+//     almost no unsafe grants.
+//   - E13b: the client-observed speculation curve — worst grant-stream
+//     stall after full corruption on rings of growing size, under sd vs
+//     a central daemon. Stabilization is Θ(diam) vs Θ(n²)-ish in protocol
+//     time; in client time both gain the privilege-rotation delay (Θ(n)
+//     under sd, Θ(n²) under cd), and the fitted exponents show the
+//     speculative gap surviving at the service boundary.
+//   - E13c: pre/post-fault grant-latency CDFs for one representative
+//     cell, the service-level shape of recovery.
+func E13Service(cfg RunConfig) ([]*stats.Table, error) {
+	curves, err := e13CurvesTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := e13SpeculationTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cdf, err := e13CDFTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{curves, spec, cdf}, nil
+}
+
+// e13Cell is one lock instance under storm.
+type e13Cell struct {
+	name     string
+	lock     service.Lock
+	initial  sim.Config[int]
+	capacity int
+	warm     int
+	horizon  int
+}
+
+// e13Cells builds the lock zoo: SSME on rings and a grid, Dijkstra's
+// token ring, and ℓ-exclusion with capacity ℓ.
+func e13Cells(cfg RunConfig) ([]e13Cell, error) {
+	var cells []e13Cell
+	ssme := func(g *graph.Graph) error {
+		p, err := core.New(g)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, e13Cell{
+			name: "ssme@" + g.Name(), lock: p, initial: make(sim.Config[int], g.N()),
+			capacity: 1, warm: p.ServiceWindow(), horizon: 4 * p.ServiceWindow(),
+		})
+		return nil
+	}
+	ringN := cfg.pick(8, 16)
+	if err := ssme(graph.Ring(ringN)); err != nil {
+		return nil, err
+	}
+	if err := ssme(graph.Grid(3, cfg.pick(3, 5))); err != nil {
+		return nil, err
+	}
+	dj, err := dijkstra.New(ringN, ringN)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, e13Cell{
+		name: "dijkstra@" + dj.Graph().Name(), lock: dj, initial: make(sim.Config[int], ringN),
+		capacity: 1, warm: 4 * ringN, horizon: dj.UnfairHorizonMoves(),
+	})
+	lx, err := lexclusion.New(graph.Ring(ringN), 2)
+	if err != nil {
+		return nil, err
+	}
+	lxInit, err := lx.UniformConfig(0)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, e13Cell{
+		name: fmt.Sprintf("lexclusion[ℓ=2]@%s", lx.Graph().Name()), lock: lx, initial: lxInit,
+		capacity: lx.L(), warm: lx.ServiceWindow(), horizon: 4 * lx.ServiceWindow(),
+	})
+	return cells, nil
+}
+
+// e13Daemons is the daemon spectrum the service rides through.
+func e13Daemons() []struct {
+	name string
+	mk   func() sim.Daemon[int]
+} {
+	return []struct {
+		name string
+		mk   func() sim.Daemon[int]
+	}{
+		{"sd", func() sim.Daemon[int] { return daemon.NewSynchronous[int]() }},
+		{"ud/distributed-p0.50", func() sim.Daemon[int] { return daemon.NewDistributed[int](0.5) }},
+	}
+}
+
+// e13Storm runs one seeded storm trial for a cell and returns the
+// recoveries.
+func e13Storm(cfg RunConfig, c e13Cell, mk func() sim.Daemon[int], bursts, corrupt int, seed int64) ([]service.Recovery, *service.Sim, error) {
+	opts, err := engineOptions(cfg, c.lock)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := c.lock.N()
+	s, err := service.New(c.lock, mk(), c.initial, seed,
+		service.MustClosedLoop(n, 2*n, 0, 3),
+		service.Options{Capacity: c.capacity, Engine: opts})
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := s.Storm(bursts, service.StormOptions{
+		WarmTicks:    c.warm,
+		Corrupt:      corrupt,
+		HorizonTicks: c.horizon,
+		SettleTicks:  c.warm / 2,
+	})
+	return recs, s, err
+}
+
+// e13CurvesTable is E13a: the storm sweep across locks, daemons and
+// fault intensities.
+func e13CurvesTable(cfg RunConfig) (*stats.Table, error) {
+	trials := cfg.pick(2, 3)
+	bursts := cfg.pick(1, 2)
+	table := stats.NewTable(
+		"E13a — service under live fault storms: client-observed vs protocol-observed recovery (worst over trials)",
+		"lock", "daemon", "corrupt", "resumed", "stall ticks", "legit ticks", "unsafe ticks",
+		"pre grants/tick", "post p95 lat", "jain clients", "safe",
+	)
+	cells, err := e13Cells(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		intensities := []int{c.lock.N()}
+		if !cfg.Quick {
+			intensities = append(intensities, c.lock.N()/2)
+		}
+		for _, dm := range e13Daemons() {
+			for _, corrupt := range intensities {
+				type trialOut struct {
+					recs []service.Recovery
+					m    service.Metrics
+				}
+				outs, err := forTrials(cfg, trials, func(trial int) (trialOut, error) {
+					seed := cfg.seed()*1_000_003 + int64(trial)*7919 + int64(corrupt)
+					recs, s, err := e13Storm(cfg, c, dm.mk, bursts, corrupt, seed)
+					if err != nil {
+						return trialOut{}, err
+					}
+					return trialOut{recs: recs, m: s.Totals()}, nil
+				})
+				if err != nil {
+					return nil, fmt.Errorf("e13a %s under %s: %w", c.name, dm.name, err)
+				}
+				resumed, total := 0, 0
+				worstStall, worstLegit := 0, 0
+				var worstUnsafe int64
+				var preGPT, postP95, jain float64
+				legitKnown := true
+				for _, o := range outs {
+					for _, rec := range o.recs {
+						total++
+						if rec.Resumed {
+							resumed++
+						}
+						worstStall = maxInt(worstStall, rec.StallTicks)
+						if rec.LegitTicks < 0 {
+							legitKnown = false
+						} else {
+							worstLegit = maxInt(worstLegit, rec.LegitTicks)
+						}
+						if rec.UnsafeTicks > worstUnsafe {
+							worstUnsafe = rec.UnsafeTicks
+						}
+						preGPT += rec.Pre.GrantsPerTick
+						if rec.Post.LatP95 > postP95 {
+							postP95 = rec.Post.LatP95
+						}
+					}
+					jain += o.m.JainClients
+				}
+				preGPT /= float64(total)
+				jain /= float64(len(outs))
+				legitStr := fmt.Sprintf("%d", worstLegit)
+				if !legitKnown {
+					legitStr = "—"
+				}
+				table.AddRow(c.name, dm.name, corrupt,
+					fmt.Sprintf("%d/%d", resumed, total),
+					worstStall, legitStr, worstUnsafe,
+					fmt.Sprintf("%.4f", preGPT), postP95,
+					fmt.Sprintf("%.3f", jain), ok(resumed == total))
+			}
+		}
+	}
+	table.AddNote("stall = ticks from burst to the next grant (client-observed recovery); legit = ticks to Γ-re-entry (protocol-observed); stall/legit/unsafe are worst over recoveries, pre grants/tick is the mean")
+	table.AddNote("Dijkstra never stalls — some token always exists — but serves unsafely while stabilizing; SSME stalls for roughly a rotation and exposes (almost) no unsafe tick")
+	table.AddNote("closed-loop population of 2n clients, think 0–3 ticks; executions are bitwise identical for every -backend/-workers choice")
+	return table, nil
+}
+
+// e13SpeculationTable is E13b: client-observed recovery curves on rings
+// of growing size, sd vs central, fitted like a Definition 4 certificate.
+func e13SpeculationTable(cfg RunConfig) (*stats.Table, error) {
+	sizes := []int{6, 10, 14}
+	if !cfg.Quick {
+		sizes = []int{8, 16, 24, 32}
+	}
+	trials := cfg.pick(2, 3)
+	table := stats.NewTable(
+		"E13b — client-observed speculation curve: worst grant-stream stall after full corruption (SSME ring)",
+		"n", "stall sd", "legit sd", "stall cd/random", "legit cd/random", "stall ratio cd/sd",
+	)
+	type dpoint struct{ stall, legit int }
+	measure := func(n int, mk func() sim.Daemon[int], horizonScale int) (dpoint, error) {
+		p, err := core.New(graph.Ring(n))
+		if err != nil {
+			return dpoint{}, err
+		}
+		c := e13Cell{
+			lock: p, initial: make(sim.Config[int], n), capacity: 1,
+			warm:    horizonScale * p.ServiceWindow(),
+			horizon: horizonScale * (p.UnfairBoundMoves() + 2*p.ServiceWindow()),
+		}
+		outs, err := forTrials(cfg, trials, func(trial int) (dpoint, error) {
+			recs, _, err := e13Storm(cfg, c, mk, 1, n, cfg.seed()*999_983+int64(31*n+trial))
+			if err != nil {
+				return dpoint{}, err
+			}
+			if len(recs) != 1 || !recs[0].Resumed {
+				return dpoint{}, fmt.Errorf("stall did not resolve inside the horizon at n=%d", n)
+			}
+			return dpoint{stall: recs[0].StallTicks, legit: recs[0].LegitTicks}, nil
+		})
+		if err != nil {
+			return dpoint{}, err
+		}
+		worst := dpoint{}
+		for _, o := range outs {
+			worst.stall = maxInt(worst.stall, o.stall)
+			worst.legit = maxInt(worst.legit, o.legit)
+		}
+		return worst, nil
+	}
+	var strong, weak []service.ServicePoint
+	for _, n := range sizes {
+		sd, err := measure(n, func() sim.Daemon[int] { return daemon.NewSynchronous[int]() }, 1)
+		if err != nil {
+			return nil, fmt.Errorf("e13b sd n=%d: %w", n, err)
+		}
+		// The central daemon slows every clock advance n-fold; scale the
+		// warm window so the pre-fault baseline still sees a rotation.
+		cd, err := measure(n, func() sim.Daemon[int] { return daemon.NewRandomCentral[int]() }, n)
+		if err != nil {
+			return nil, fmt.Errorf("e13b cd n=%d: %w", n, err)
+		}
+		weak = append(weak, service.ServicePoint{Size: n, Stall: float64(sd.stall), Legit: float64(sd.legit)})
+		strong = append(strong, service.ServicePoint{Size: n, Stall: float64(cd.stall), Legit: float64(cd.legit)})
+		table.AddRow(n, sd.stall, sd.legit, cd.stall, cd.legit,
+			fmt.Sprintf("%.1f", float64(cd.stall)/float64(maxInt(sd.stall, 1))))
+	}
+	cert, err := service.SpeculationCurve(speculation.Claim{
+		Protocol: "SSME/service@ring",
+		Strong:   speculation.Central, StrongExponent: 2,
+		Weak: speculation.Synchronous, WeakExponent: 1,
+	}, strong, weak)
+	if err != nil {
+		return nil, err
+	}
+	table.AddNote("client time adds the privilege-rotation delay to stabilization: Θ(n) total under sd, Θ(n²) under cd — the speculative gap survives at the service boundary")
+	table.AddNote("fitted exponents: cd stall ~ n^%.2f (R²=%.3f) vs sd stall ~ n^%.2f (R²=%.3f); separation (tol 0.5): %v",
+		cert.StrongFit.Exponent, cert.StrongFit.R2, cert.WeakFit.Exponent, cert.WeakFit.R2, cert.Separated(0.5))
+	return table, nil
+}
+
+// e13CDFTable is E13c: the latency distribution before and after one
+// full-corruption burst, as quantiles of the grant-latency CDF.
+func e13CDFTable(cfg RunConfig) (*stats.Table, error) {
+	n := cfg.pick(12, 24)
+	p, err := core.New(graph.Ring(n))
+	if err != nil {
+		return nil, err
+	}
+	opts, err := engineOptions(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	s, err := service.New(p, daemon.NewSynchronous[int](), make(sim.Config[int], n),
+		cfg.seed()*424_243, service.MustClosedLoop(n, 2*n, 0, 3), service.Options{Engine: opts})
+	if err != nil {
+		return nil, err
+	}
+	quantiles := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+	table := stats.NewTable(
+		fmt.Sprintf("E13c — grant-latency CDF around one full burst (ssme@ring-%d under sd, ticks waited)", n),
+		"window", "p10", "p25", "p50", "p75", "p90", "p95", "p99", "grants",
+	)
+	addRow := func(name string) error {
+		cdf, okC := s.LatencyCDF(quantiles)
+		if !okC {
+			return fmt.Errorf("e13c: %s window served no grant", name)
+		}
+		m := s.Window()
+		table.AddRow(name, cdf[0], cdf[1], cdf[2], cdf[3], cdf[4], cdf[5], cdf[6], m.Grants)
+		return nil
+	}
+	warm := 2 * p.ServiceWindow()
+	if _, err := s.Run(warm); err != nil {
+		return nil, err
+	}
+	if err := addRow("pre-fault"); err != nil {
+		return nil, err
+	}
+	s.ResetWindow()
+	if err := s.InjectBurst(n); err != nil {
+		return nil, err
+	}
+	if _, err := s.Run(warm); err != nil {
+		return nil, err
+	}
+	if err := addRow("post-fault"); err != nil {
+		return nil, err
+	}
+	table.AddNote("the post-fault window absorbs the stall: every request queued during recovery ages by it, shifting the whole CDF right before the rotation drains the backlog")
+	return table, nil
+}

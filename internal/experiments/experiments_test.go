@@ -75,7 +75,7 @@ func TestRegistryIDsUniqueAndOrdered(t *testing.T) {
 			t.Errorf("experiment %q incomplete", exp.ID)
 		}
 	}
-	if len(seen) != 12 {
-		t.Errorf("registry has %d experiments, want 12 (E1–E12)", len(seen))
+	if len(seen) != 13 {
+		t.Errorf("registry has %d experiments, want 13 (E1–E13)", len(seen))
 	}
 }

@@ -1,0 +1,145 @@
+package matching
+
+// Flat execution codec (sim.Flat, DESIGN.md §6): one int64 word per
+// vertex packing the pointer/flag pair as (P+1)<<1 | M — P ranges over
+// neig(v) ∪ {⊥ = −1}, so P+1 is a non-negative vertex id (or 0 for ⊥)
+// and M is the low bit. The batch kernels fuse PRmarried, the proposer
+// search and the seduction target into one CSR row sweep per vertex,
+// mirroring EnabledRule/Apply decision for decision; the conformance and
+// differential tests assert exact agreement. With this codec every
+// catalogue protocol of the paper runs on the packed backend.
+
+import "specstab/internal/sim"
+
+// FlatWords implements sim.Flat: one word.
+func (p *Protocol) FlatWords() int { return 1 }
+
+// EncodeState implements sim.Flat.
+func (p *Protocol) EncodeState(_ int, s State, dst []int64) {
+	w := int64(s.P+1) << 1
+	if s.M {
+		w |= 1
+	}
+	dst[0] = w
+}
+
+// DecodeState implements sim.Flat.
+func (p *Protocol) DecodeState(_ int, src []int64) State {
+	return State{P: int(src[0]>>1) - 1, M: src[0]&1 == 1}
+}
+
+// DecodeStates implements sim.Flat (the batch shadow refresh).
+func (p *Protocol) DecodeStates(st []int64, stride, base int, vs []int, cfg sim.Config[State]) {
+	for _, v := range vs {
+		w := st[v*stride+base]
+		cfg[v] = State{P: int(w>>1) - 1, M: w&1 == 1}
+	}
+}
+
+// EnabledRuleFlat implements sim.Flat with the MMPT guards. One row sweep
+// gathers every quantified fact a guard needs: whether some unmarried
+// neighbor proposes to v (→ Marriage), whether any neighbor points at v
+// at all (blocks Seduction), and the largest eligible higher-id single
+// (the Seduction target).
+func (p *Protocol) EnabledRuleFlat(st []int64, stride, base int, vs []int, rules []sim.Rule) {
+	csr := p.g.CSR()
+	off, tgt := csr.Offsets, csr.Targets
+	for i, v := range vs {
+		wv := st[v*stride+base]
+		pv := int(wv>>1) - 1
+		mv := wv&1 == 1
+		married := pv != Null && int(st[pv*stride+base]>>1)-1 == v
+		if mv != married {
+			rules[i] = RuleUpdate
+			continue
+		}
+		if married {
+			rules[i] = sim.NoRule
+			continue
+		}
+		if pv == Null {
+			proposed, pointed := false, false
+			best := Null
+			for j := off[v]; j < off[v+1]; j++ {
+				u := int(tgt[j])
+				wu := st[u*stride+base]
+				pu := int(wu>>1) - 1
+				mu := wu&1 == 1
+				if pu == v {
+					pointed = true
+					if !mu {
+						proposed = true
+						break // Marriage wins; nothing else matters
+					}
+				}
+				if u > v && pu == Null && !mu && u > best {
+					best = u
+				}
+			}
+			switch {
+			case proposed:
+				rules[i] = RuleMarriage
+			case !pointed && best != Null:
+				rules[i] = RuleSeduction
+			default:
+				rules[i] = sim.NoRule
+			}
+			continue
+		}
+		wu := st[pv*stride+base]
+		if int(wu>>1)-1 != v && (wu&1 == 1 || pv < v) {
+			rules[i] = RuleAbandonment
+		} else {
+			rules[i] = sim.NoRule
+		}
+	}
+}
+
+// ApplyFlat implements sim.Flat: each move rewrites one field of the
+// packed pair, re-deriving the same quantities the guards established.
+func (p *Protocol) ApplyFlat(st []int64, stride, base int, vs []int, rules []sim.Rule, out []int64, outStride, outBase int) {
+	csr := p.g.CSR()
+	off, tgt := csr.Offsets, csr.Targets
+	for i, v := range vs {
+		wv := st[v*stride+base]
+		pv := int(wv>>1) - 1
+		next := wv
+		switch rules[i] {
+		case RuleUpdate:
+			married := pv != Null && int(st[pv*stride+base]>>1)-1 == v
+			next = wv &^ 1
+			if married {
+				next |= 1
+			}
+		case RuleMarriage:
+			// The smallest unmarried proposer (CSR rows are ascending);
+			// P := ⊥ when none, exactly like the generic proposer search.
+			next = wv & 1
+			for j := off[v]; j < off[v+1]; j++ {
+				u := int(tgt[j])
+				wu := st[u*stride+base]
+				if int(wu>>1)-1 == v && wu&1 == 0 {
+					next = wv&1 | int64(u+1)<<1
+					break
+				}
+			}
+		case RuleSeduction:
+			best := Null
+			for j := off[v]; j < off[v+1]; j++ {
+				u := int(tgt[j])
+				wu := st[u*stride+base]
+				if u > v && int(wu>>1)-1 == Null && wu&1 == 0 && u > best {
+					best = u
+				}
+			}
+			next = wv&1 | int64(best+1)<<1
+		case RuleAbandonment:
+			next = wv & 1 // P := ⊥ (encoded 0<<1)
+		default:
+			panic("matching: flat apply of unknown rule")
+		}
+		out[i*outStride+outBase] = next
+	}
+}
+
+var _ sim.Flat[State] = (*Protocol)(nil)

@@ -1,0 +1,161 @@
+package service
+
+// Live fault storms and service-level speculation. internal/faults
+// measures recovery in protocol time (steps/moves to Γ-re-entry) by
+// rebuilding an engine per burst; here bursts hit a *running* service
+// (Engine.SetConfig) with clients queued and clocks ticking, and recovery
+// is scored as clients observe it: how long the grant stream stalls, how
+// badly latency degrades, and how long the protocol exposed unsafe
+// privilege sets. The resulting per-size curves extend the speculation
+// certificates of internal/speculation from protocol time to
+// client-observed time — the paper's ⌈diam/2⌉-vs-Θ(n³) gap re-measured at
+// the service boundary, where the weak-daemon advantage must survive the
+// privilege-rotation delay the protocol adds on top of stabilization.
+
+import (
+	"errors"
+	"fmt"
+
+	"specstab/internal/speculation"
+)
+
+// StormOptions configures one fault campaign against a running service.
+type StormOptions struct {
+	// WarmTicks runs before each burst; the last warm window is the
+	// pre-fault baseline (it should cover at least one full privilege
+	// rotation, e.g. the lock's ServiceWindow, so the baseline sees
+	// grants).
+	WarmTicks int
+	// Corrupt is the number of registers each burst corrupts (≤ 0 means
+	// all of them).
+	Corrupt int
+	// HorizonTicks bounds the post-burst wait for the grant stream to
+	// resume before the recovery is declared failed.
+	HorizonTicks int
+	// SettleTicks extends the post-burst window after the first grant, so
+	// the degraded-latency CDF has substance.
+	SettleTicks int
+}
+
+// Recovery is the client-observed score of one burst.
+type Recovery struct {
+	// BurstTick is the service tick at which the burst hit.
+	BurstTick int64
+	// Resumed reports whether the grant stream came back inside the
+	// horizon; StallTicks counts ticks from the burst to the first
+	// post-burst grant — the client-observed recovery time.
+	Resumed    bool
+	StallTicks int
+	// LegitTicks counts ticks from the burst to legitimacy re-entry, the
+	// protocol-observed recovery (−1 when the lock exposes no legitimacy
+	// predicate or re-entry was not observed inside the horizon).
+	LegitTicks int
+	// UnsafeTicks counts post-burst ticks with more privileges than the
+	// service capacity — the safety gap clients were exposed to.
+	UnsafeTicks int64
+	// Pre and Post are the measurement windows around the burst: the last
+	// WarmTicks before it, and the stall + settle window after it.
+	Pre, Post Metrics
+}
+
+// Storm runs a campaign of bursts against the running service and scores
+// each recovery. The service keeps running between calls; campaigns can
+// be chained for long-lived soak scenarios.
+func (s *Sim) Storm(bursts int, so StormOptions) ([]Recovery, error) {
+	if bursts < 1 || so.WarmTicks < 1 || so.HorizonTicks < 1 {
+		return nil, errors.New("service: storm needs ≥ 1 burst, warm ticks and horizon ticks")
+	}
+	k := so.Corrupt
+	if k <= 0 || k > s.n {
+		k = s.n
+	}
+	out := make([]Recovery, 0, bursts)
+	for b := 0; b < bursts; b++ {
+		s.ResetWindow()
+		if err := s.runFully(so.WarmTicks); err != nil {
+			return out, fmt.Errorf("service: warming burst %d: %w", b, err)
+		}
+		rec := Recovery{Pre: s.Window(), BurstTick: s.tick, LegitTicks: -1}
+
+		if err := s.InjectBurst(k); err != nil {
+			return out, err
+		}
+		s.ResetWindow()
+		grantsBefore := s.tot.grants
+		if legit, ok := s.Legitimate(); ok && legit {
+			rec.LegitTicks = 0 // the burst happened to be harmless
+		}
+		for t := 1; t <= so.HorizonTicks; t++ {
+			if err := s.runFully(1); err != nil {
+				return out, fmt.Errorf("service: burst %d recovery: %w", b, err)
+			}
+			if rec.LegitTicks < 0 {
+				if legit, ok := s.Legitimate(); ok && legit {
+					rec.LegitTicks = t
+				}
+			}
+			if s.tot.grants > grantsBefore {
+				rec.Resumed = true
+				rec.StallTicks = t
+				break
+			}
+		}
+		if !rec.Resumed {
+			rec.StallTicks = so.HorizonTicks
+		}
+		if so.SettleTicks > 0 {
+			if err := s.runFully(so.SettleTicks); err != nil {
+				return out, fmt.Errorf("service: burst %d settle: %w", b, err)
+			}
+		}
+		// Legitimacy may re-enter during the settle window (after the
+		// first grant resumed the stream).
+		if rec.LegitTicks < 0 {
+			if legit, ok := s.Legitimate(); ok && legit {
+				rec.LegitTicks = int(s.tick - rec.BurstTick)
+			}
+		}
+		rec.Post = s.Window()
+		rec.UnsafeTicks = rec.Post.UnsafeTicks
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// runFully is Run that treats an early terminal stop as an error —
+// perpetual locks must never go terminal mid-storm.
+func (s *Sim) runFully(ticks int) error {
+	done, err := s.Run(ticks)
+	if err != nil {
+		return err
+	}
+	if done < ticks {
+		return fmt.Errorf("service: %s terminal after %d of %d ticks", s.lock.Name(), done, ticks)
+	}
+	return nil
+}
+
+// ServicePoint is one instance of a client-observed recovery curve:
+// the worst stall (ticks from burst to the next grant) measured at one
+// system size.
+type ServicePoint struct {
+	Size  int
+	Stall float64
+	Legit float64
+}
+
+// SpeculationCurve fits client-observed recovery curves for two daemon
+// classes into a speculation.Certificate — Definition 4 transported to
+// service time. strong and weak are the per-size worst stalls under the
+// two daemons (strong = the more adversarial schedule).
+func SpeculationCurve(claim speculation.Claim, strong, weak []ServicePoint) (speculation.Certificate, error) {
+	return speculation.Measure(claim, curve(strong), curve(weak))
+}
+
+func curve(ps []ServicePoint) []speculation.CurvePoint {
+	out := make([]speculation.CurvePoint, len(ps))
+	for i, p := range ps {
+		out[i] = speculation.CurvePoint{Size: p.Size, Conv: p.Stall}
+	}
+	return out
+}

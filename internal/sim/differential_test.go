@@ -269,7 +269,7 @@ func TestDifferentialBackendsAndWorkers(t *testing.T) {
 
 	runBackendMatrix[int](t, "dijkstra", dijkstra.MustNew(7, 7), true, 150)
 	runBackendMatrix[int](t, "bfstree", bfstree.MustNew(grid, 0), true, 150)
-	runBackendMatrix[matching.State](t, "matching", matching.New(graph.Petersen()), false, 150)
+	runBackendMatrix[matching.State](t, "matching", matching.New(graph.Petersen()), true, 150)
 	runBackendMatrix[int](t, "ssme", core.MustNew(ring), true, 150)
 	runBackendMatrix[int](t, "lexclusion", lexclusion.MustNew(grid, 2), true, 150)
 

@@ -378,6 +378,41 @@ func (e *Engine[S]) DisableIncremental() {
 // SetHook installs a step observer (nil removes it).
 func (e *Engine[S]) SetHook(h Hook) { e.hook = h }
 
+// SetConfig replaces the live configuration mid-execution — the transient
+// fault of the paper's model, injected without tearing the engine down
+// (influence sets, packed buffers and daemon state all survive, which is
+// what lets a service simulation corrupt registers between steps of one
+// continuous execution). The step/move/guard counters keep running; the
+// current round is abandoned and a fresh one is charged from the new
+// enabled set, since a corruption invalidates the owed-vertex accounting
+// of the interrupted round. Deterministic: the replacement itself draws no
+// randomness, so executions remain a pure function of (protocol, daemon,
+// seed, injected configurations) for every backend and worker count.
+func (e *Engine[S]) SetConfig(c Config[S]) error {
+	if err := Validate(e.p, c); err != nil {
+		return err
+	}
+	copy(e.cfg, c)
+	if e.fl != nil {
+		w := e.w
+		e.forShards(e.p.N(), func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				e.fl.EncodeState(v, e.cfg[v], e.st[v*w:(v+1)*w])
+			}
+			// Shadow = decode(encode(·)), the invariant NewEngineWith
+			// establishes, restored for the injected states.
+			for v := lo; v < hi; v++ {
+				e.cfg[v] = e.fl.DecodeState(v, e.st[v*w:(v+1)*w])
+			}
+		})
+	}
+	if e.loc != nil {
+		e.refreshDense()
+	}
+	e.startRound()
+	return nil
+}
+
 // Enabled returns the enabled vertices of the current configuration, in
 // increasing order; the slice is owned by the engine. In incremental mode
 // this is the maintained set (no guard evaluations); otherwise it is

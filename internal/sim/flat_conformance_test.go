@@ -18,6 +18,7 @@ import (
 	"specstab/internal/dijkstra"
 	"specstab/internal/graph"
 	"specstab/internal/lexclusion"
+	"specstab/internal/matching"
 	"specstab/internal/sim"
 	"specstab/internal/unison"
 )
@@ -98,6 +99,9 @@ func TestFlatConformance(t *testing.T) {
 	checkFlatConformance[int](t, "bfstree", bfstree.MustNew(grid, 2))
 	checkFlatConformance[int](t, "ssme", core.MustNew(ring))
 	checkFlatConformance[int](t, "lexclusion", lexclusion.MustNew(grid, 3))
+	checkFlatConformance[matching.State](t, "matching-petersen", matching.New(graph.Petersen()))
+	checkFlatConformance[matching.State](t, "matching-grid", matching.New(grid))
+	checkFlatConformance[matching.State](t, "matching-ring", matching.New(ring))
 
 	uni, err := unison.New(grid, unison.MinimalParams(grid))
 	if err != nil {
