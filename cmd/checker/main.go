@@ -21,6 +21,8 @@ import (
 	"specstab/internal/cli"
 	"specstab/internal/core"
 	"specstab/internal/dijkstra"
+	"specstab/internal/graph"
+	"specstab/internal/scenario"
 	"specstab/internal/unison"
 )
 
@@ -44,18 +46,25 @@ func run(args []string, out io.Writer) error {
 		minimal  = fs.Bool("minimal", false, "unison: use minimal clock parameters instead of α=n")
 		central  = fs.Bool("central", false, "restrict the adversary to the central daemon")
 		maxCfg   = fs.Int("max-configs", 2_000_000, "state-space safety valve")
+		common   = cli.AddCommon(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The checker enumerates configurations rather than running engines,
+	// so -backend/-workers have no effect here — but the shared flag set
+	// is still validated, with the same error text as every other driver.
+	if _, err := common.Resolve(); err != nil {
 		return err
 	}
 
 	switch *system {
 	case "ssme":
-		g, err := cli.ParseTopology(*topology, *n, 1)
+		g, err := cli.ParseTopology(*topology, *n, common.Seed)
 		if err != nil {
 			return err
 		}
-		p, err := core.New(g)
+		p, err := buildProto[*core.Protocol](scenario.ProtocolSpec{Name: "ssme"}, g, *topology)
 		if err != nil {
 			return err
 		}
@@ -90,18 +99,15 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "unison":
-		g, err := cli.ParseTopology(*topology, *n, 1)
+		g, err := cli.ParseTopology(*topology, *n, common.Seed)
 		if err != nil {
 			return err
 		}
-		params := unison.SafeParams(g)
-		if *minimal {
-			params = unison.MinimalParams(g)
-		}
-		u, err := unison.New(g, params)
+		u, err := buildProto[*unison.Protocol](scenario.ProtocolSpec{Name: "unison", Minimal: *minimal}, g, *topology)
 		if err != nil {
 			return err
 		}
+		params := u.Clock()
 		fmt.Fprintf(out, "checking unison on %s — clock %s, domain %d^%d\n", g, params, params.Size(), g.N())
 		rep, err := check.Exhaustive[int](u, check.Options[int]{
 			Domain:       func(int) []int { return u.Clock().Values() },
@@ -122,7 +128,8 @@ func run(args []string, out io.Writer) error {
 		if kk == 0 {
 			kk = *n
 		}
-		p, err := dijkstra.NewUnchecked(*n, kk)
+		p, err := buildProto[*dijkstra.Protocol](
+			scenario.ProtocolSpec{Name: "dijkstra", K: kk, Unchecked: true}, graph.Ring(*n), "ring")
 		if err != nil {
 			return err
 		}
@@ -164,4 +171,16 @@ func printReport(out io.Writer, legitName string, configs, legit, deadlocks, clo
 		return
 	}
 	fmt.Fprintf(out, "exact worst case: %d steps / %d moves to legitimacy (over ALL schedules)\n", worstSteps, worstMoves)
+}
+
+// buildProto constructs a protocol through the scenario registry and
+// asserts its concrete type — the checker needs the protocol-specific
+// predicates and domains the generic interface does not carry.
+func buildProto[T any](spec scenario.ProtocolSpec, g *graph.Graph, topo string) (T, error) {
+	var zero T
+	pAny, err := scenario.BuildProtocol(spec, g, topo)
+	if err != nil {
+		return zero, err
+	}
+	return pAny.(T), nil
 }

@@ -3,10 +3,10 @@
 // autonomous re-stabilization, with per-burst recovery statistics.
 //
 // With -service the same campaign is routed through the grant adapter of
-// internal/service: bursts hit a *running* mutual-exclusion service with
-// clients queued at every vertex, and recovery is reported as clients
-// observe it — grant-stream stall and latency degradation — next to the
-// protocol-observed legitimacy re-entry.
+// internal/service via a declarative internal/scenario run: bursts hit a
+// *running* mutual-exclusion service with clients queued at every vertex,
+// and recovery is reported as clients observe it — grant-stream stall and
+// latency degradation — next to the protocol-observed legitimacy re-entry.
 //
 // Examples:
 //
@@ -24,7 +24,7 @@ import (
 	"specstab/internal/cli"
 	"specstab/internal/core"
 	"specstab/internal/faults"
-	"specstab/internal/service"
+	"specstab/internal/scenario"
 	"specstab/internal/sim"
 	"specstab/internal/stats"
 )
@@ -49,21 +49,26 @@ func run(args []string, out io.Writer) error {
 		bursts     = fs.Int("bursts", 5, "number of fault bursts")
 		corrupt    = fs.Int("corrupt", 0, "registers corrupted per burst (0 = all)")
 		quiet      = fs.Int("quiet", 8, "steps between bursts")
-		seed       = fs.Int64("seed", 1, "random seed")
 		svc        = fs.Bool("service", false, "route the campaign through the mutual-exclusion service layer and report client-observed recovery")
+		common     = cli.AddCommon(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if _, err := common.Resolve(); err != nil {
+		return err
+	}
+	seed := common.Seed
 
-	g, err := cli.ParseTopology(*topology, *n, *seed)
+	g, err := cli.ParseTopology(*topology, *n, seed)
 	if err != nil {
 		return err
 	}
-	p, err := core.New(g)
+	pAny, err := scenario.BuildProtocol(scenario.ProtocolSpec{Name: "ssme"}, g, *topology)
 	if err != nil {
 		return err
 	}
+	p := pAny.(*core.Protocol)
 	k := *corrupt
 	if k <= 0 || k > g.N() {
 		k = g.N()
@@ -75,9 +80,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *svc {
-		return runService(out, p, *daemonName, *prob, *bursts, k, *quiet, horizon, *seed)
+		return runService(out, p, *topology, *daemonName, *prob, *bursts, k, *quiet, horizon, seed, common)
 	}
-	scenario := faults.Scenario[int]{
+	scenarioSpec := faults.Scenario[int]{
 		Protocol: p,
 		NewDaemon: func() sim.Daemon[int] {
 			d, err := cli.ParseDaemon[int](*daemonName, g.N(), *prob)
@@ -89,6 +94,7 @@ func run(args []string, out io.Writer) error {
 		Legit:        p.Legitimate,
 		Safe:         p.SafeME,
 		HorizonSteps: horizon,
+		Engine:       common.EngineSpec(),
 	}
 	if _, err := cli.ParseDaemon[int](*daemonName, g.N(), *prob); err != nil {
 		return err
@@ -101,8 +107,8 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "fault campaign on %s under %s: %d bursts × %d corrupted registers\n\n",
 		g, *daemonName, *bursts, k)
-	initial := sim.RandomConfig[int](p, rand.New(rand.NewSource(*seed)))
-	recs, err := scenario.Run(initial, burstList, *seed)
+	initial := sim.RandomConfig[int](p, rand.New(rand.NewSource(seed)))
+	recs, err := scenarioSpec.Run(initial, burstList, seed)
 	if err != nil {
 		return err
 	}
@@ -126,32 +132,38 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runService is the -service path: the same campaign, but against a
-// running grant-adapted service with a client at every vertex, scored in
-// client-observed time.
-func runService(out io.Writer, p *core.Protocol, daemonName string, prob float64, bursts, corrupt, quiet, horizon int, seed int64) error {
-	d, err := cli.ParseDaemon[int](daemonName, p.N(), prob)
-	if err != nil {
-		return err
-	}
+// runService is the -service path: the same campaign, expressed as a
+// declarative scenario against a running grant-adapted service with a
+// client population at every vertex, scored in client-observed time.
+func runService(out io.Writer, p *core.Protocol, topology, daemonName string, prob float64, bursts, corrupt, quiet, horizon int, seed int64, common *cli.Common) error {
 	n := p.N()
-	s, err := service.New(p, d, make(sim.Config[int], n), seed,
-		service.MustClosedLoop(n, 2*n, 0, 3), service.Options{})
-	if err != nil {
-		return err
-	}
 	warm := p.ServiceWindow() + quiet
-	fmt.Fprintf(out, "service fault campaign on %s under %s: %d bursts × %d corrupted registers, %d clients\n\n",
-		p.Graph(), d.Name(), bursts, corrupt, 2*n)
-	recs, err := s.Storm(bursts, service.StormOptions{
-		WarmTicks:    warm,
-		Corrupt:      corrupt,
-		HorizonTicks: 4 * horizon,
-		SettleTicks:  warm / 2,
-	})
+	sc := &scenario.Scenario{
+		Name:     "faultsim-service",
+		Seed:     seed,
+		Protocol: scenario.ProtocolSpec{Name: "ssme"},
+		Topology: scenario.TopologySpec{Name: topology, N: n},
+		Daemon:   scenario.DaemonSpec{Name: daemonName, P: prob},
+		Engine:   common.EngineSpec(),
+		Workload: &scenario.WorkloadSpec{Kind: "closed", Clients: 2 * n, ThinkMin: 0, ThinkMax: 3},
+		Storm: &scenario.StormSpec{
+			Bursts:       bursts,
+			Corrupt:      corrupt,
+			WarmTicks:    warm,
+			HorizonTicks: 4 * horizon,
+			SettleTicks:  warm / 2,
+		},
+	}
+	r, err := scenario.Build(sc)
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(out, "service fault campaign on %s under %s: %d bursts × %d corrupted registers, %d clients\n\n",
+		p.Graph(), r.DaemonName(), bursts, corrupt, 2*n)
+	if err := r.Execute(); err != nil {
+		return err
+	}
+	recs := r.Recoveries()
 	table := stats.NewTable("client-observed recoveries",
 		"burst", "resumed", "stall ticks", "legit ticks", "unsafe ticks",
 		"pre grants/tick", "pre p95 lat", "post p95 lat", "closure")
@@ -172,7 +184,7 @@ func runService(out io.Writer, p *core.Protocol, daemonName string, prob float64
 	fmt.Fprintln(out, table)
 	fmt.Fprintln(out, "service totals")
 	fmt.Fprintln(out, "==============")
-	fmt.Fprint(out, s.Totals().Render())
+	fmt.Fprint(out, r.Service().Totals().Render())
 	if allOK {
 		fmt.Fprintln(out, "\nevery burst stalled the grant stream only transiently — re-stabilization as clients observe it")
 	} else {

@@ -6,11 +6,17 @@
 // grants/tick, fairness, starvation, unsafe exposure, and per-burst
 // client-observed recovery.
 //
+// Runs are declarative internal/scenario values: the flags fill one in,
+// or -scenario loads one from a JSON file (with any number of observers
+// attached — see -list for the registry). -backend, -workers and -seed
+// set on the command line override the file.
+//
 // Examples:
 //
 //	locksim -protocol ssme -topology ring -n 64 -daemon sync -clients 1000 -ticks 20000
 //	locksim -protocol dijkstra -n 32 -workload open -rate 0.8 -ticks 5000
 //	locksim -protocol ssme -n 16 -bursts 3 -corrupt 16
+//	locksim -scenario examples/scenarios/ssme-storm.json
 package main
 
 import (
@@ -18,14 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"specstab/internal/cli"
-	"specstab/internal/core"
-	"specstab/internal/dijkstra"
-	"specstab/internal/graph"
-	"specstab/internal/lexclusion"
-	"specstab/internal/service"
-	"specstab/internal/sim"
+	"specstab/internal/scenario"
 	"specstab/internal/stats"
 )
 
@@ -36,131 +38,81 @@ func main() {
 	}
 }
 
-// buildLock constructs the named lock on g, returning the lock, a
-// legitimate initial configuration and the service capacity. topology is
-// the raw flag value: Dijkstra's protocol is ring-only, so anything else
-// is rejected rather than silently substituted.
-func buildLock(name, topology string, g *graph.Graph, l int) (service.Lock, sim.Config[int], int, error) {
-	switch name {
-	case "ssme":
-		p, err := core.New(g)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		return p, make(sim.Config[int], g.N()), 1, nil
-	case "dijkstra":
-		if topology != "ring" {
-			return nil, nil, 0, fmt.Errorf("dijkstra runs on unidirectional rings only, not -topology %s", topology)
-		}
-		p, err := dijkstra.New(g.N(), g.N())
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		return p, make(sim.Config[int], g.N()), 1, nil
-	case "lexclusion":
-		p, err := lexclusion.New(g, l)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		initial, err := p.UniformConfig(0)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		return p, initial, p.L(), nil
-	default:
-		return nil, nil, 0, fmt.Errorf("unknown protocol %q (ssme, dijkstra, lexclusion)", name)
-	}
-}
-
 // run is the testable entry point: flags are parsed from args and the
 // report written to out (the smoke tests drive it directly).
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("locksim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		protocol   = fs.String("protocol", "ssme", "lock protocol: ssme, dijkstra, lexclusion")
-		topology   = fs.String("topology", "ring", "topology: "+cli.Topologies)
-		n          = fs.Int("n", 12, "number of vertices")
-		lval       = fs.Int("l", 2, "concurrency level ℓ (lexclusion only)")
-		daemonName = fs.String("daemon", "sync", "daemon: "+cli.Daemons)
-		prob       = fs.Float64("p", 0.5, "activation probability of the distributed daemon")
-		workload   = fs.String("workload", "closed", "arrival process: closed, open")
-		clients    = fs.Int("clients", 0, "closed-loop population (0 = 2n)")
-		rate       = fs.Float64("rate", 0.5, "open-loop arrivals per tick")
-		thinkMin   = fs.Int("think", 0, "closed-loop minimum think time (ticks)")
-		thinkMax   = fs.Int("thinkmax", 3, "closed-loop maximum think time (ticks)")
-		hold       = fs.Int("hold", 1, "critical-section hold time (ticks)")
-		ticks      = fs.Int("ticks", 0, "service ticks to run (0 = one service window)")
-		bursts     = fs.Int("bursts", 0, "fault bursts to inject mid-service (0 = none)")
-		corrupt    = fs.Int("corrupt", 0, "registers corrupted per burst (0 = all)")
-		seed       = fs.Int64("seed", 1, "random seed")
-		backend    = fs.String("backend", "auto", "engine backend: "+cli.Backends)
-		workers    = fs.Int("workers", 0, "engine shard workers (0 = GOMAXPROCS); executions are identical for every value")
+		scenarioFile = fs.String("scenario", "", "run a scenario JSON file instead of the flag-built one")
+		list         = fs.Bool("list", false, "print the scenario registry catalogue and exit")
+		protocol     = fs.String("protocol", "ssme", "lock protocol: ssme, dijkstra, lexclusion")
+		topology     = fs.String("topology", "ring", "topology: "+cli.Topologies)
+		n            = fs.Int("n", 12, "number of vertices")
+		lval         = fs.Int("l", 2, "concurrency level ℓ (lexclusion only)")
+		daemonName   = fs.String("daemon", "sync", "daemon: "+cli.Daemons)
+		prob         = fs.Float64("p", 0.5, "activation probability of the distributed daemon")
+		workload     = fs.String("workload", "closed", "arrival process: closed, open")
+		clients      = fs.Int("clients", 0, "closed-loop population (0 = 2n)")
+		rate         = fs.Float64("rate", 0.5, "open-loop arrivals per tick")
+		thinkMin     = fs.Int("think", 0, "closed-loop minimum think time (ticks)")
+		thinkMax     = fs.Int("thinkmax", 3, "closed-loop maximum think time (ticks)")
+		hold         = fs.Int("hold", 1, "critical-section hold time (ticks)")
+		ticks        = fs.Int("ticks", 0, "service ticks to run (0 = one service window)")
+		bursts       = fs.Int("bursts", 0, "fault bursts to inject mid-service (0 = none)")
+		corrupt      = fs.Int("corrupt", 0, "registers corrupted per burst (0 = all)")
+		common       = cli.AddCommon(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	g, err := cli.ParseTopology(*topology, *n, *seed)
-	if err != nil {
+	if _, err := common.Resolve(); err != nil {
 		return err
 	}
-	lock, initial, capacity, err := buildLock(*protocol, *topology, g, *lval)
-	if err != nil {
-		return err
-	}
-	d, err := cli.ParseDaemon[int](*daemonName, g.N(), *prob)
-	if err != nil {
-		return err
-	}
-	engOpts, err := cli.ParseBackend(*backend)
-	if err != nil {
-		return err
-	}
-	engOpts.Workers = *workers
-
-	var wl service.Workload
-	switch *workload {
-	case "closed":
-		c := *clients
-		if c <= 0 {
-			c = 2 * g.N()
-		}
-		wl, err = service.NewClosedLoop(g.N(), c, *thinkMin, *thinkMax)
-	case "open":
-		wl, err = service.NewOpenLoop(g.N(), *rate)
-	default:
-		err = fmt.Errorf("unknown workload %q (closed, open)", *workload)
-	}
-	if err != nil {
-		return err
+	if *list {
+		fmt.Fprint(out, scenario.List())
+		return nil
 	}
 
-	s, err := service.New(lock, d, initial, *seed, wl,
-		service.Options{Hold: *hold, Capacity: capacity, Engine: engOpts})
-	if err != nil {
-		return err
+	if *scenarioFile != "" {
+		return runScenarioFile(fs, *scenarioFile, common, out)
 	}
 
-	window := serviceWindow(lock, g)
-	runTicks := *ticks
-	if runTicks <= 0 {
-		runTicks = window
+	// The flag-built scenario: exactly the construction this driver has
+	// always performed, as data.
+	sc := &scenario.Scenario{
+		Name:     "locksim",
+		Seed:     common.Seed,
+		Protocol: scenario.ProtocolSpec{Name: *protocol, L: *lval},
+		Topology: scenario.TopologySpec{Name: *topology, N: *n},
+		Daemon:   scenario.DaemonSpec{Name: *daemonName, P: *prob},
+		Engine:   common.EngineSpec(),
+		Workload: &scenario.WorkloadSpec{
+			Kind:     *workload,
+			Clients:  *clients,
+			ThinkMin: *thinkMin,
+			ThinkMax: *thinkMax,
+			Rate:     *rate,
+			Hold:     *hold,
+		},
+		Stop: scenario.StopSpec{Ticks: *ticks},
+	}
+	if *bursts > 0 {
+		sc.Storm = &scenario.StormSpec{Bursts: *bursts, Corrupt: *corrupt}
+	}
+	r, err := scenario.Build(sc)
+	if err != nil {
+		return err
 	}
 
 	fmt.Fprintf(out, "lock service: %s under %s, %s, capacity %d, hold %d (%s backend)\n\n",
-		lock.Name(), d.Name(), wl.Name(), capacity, *hold, s.Engine().Backend())
+		protoName(r), r.DaemonName(), r.Workload().Name(), r.Capacity(), r.Hold(), r.Engine().Backend())
 
-	if *bursts > 0 {
-		recs, err := s.Storm(*bursts, service.StormOptions{
-			WarmTicks:    runTicks,
-			Corrupt:      *corrupt,
-			HorizonTicks: 8 * window,
-			SettleTicks:  window / 2,
-		})
-		if err != nil {
-			return err
-		}
+	if err := r.Execute(); err != nil {
+		return err
+	}
+
+	if recs := r.Recoveries(); recs != nil {
 		table := stats.NewTable("fault storm — client-observed recovery",
 			"burst", "at tick", "resumed", "stall ticks", "legit ticks",
 			"unsafe ticks", "pre grants/tick", "post p95 lat")
@@ -173,22 +125,54 @@ func run(args []string, out io.Writer) error {
 				rec.UnsafeTicks, fmt.Sprintf("%.4f", rec.Pre.GrantsPerTick), rec.Post.LatP95)
 		}
 		fmt.Fprintln(out, table)
-	} else if _, err := s.Run(runTicks); err != nil {
-		return err
 	}
 
 	fmt.Fprintln(out, "service totals")
 	fmt.Fprintln(out, "==============")
-	fmt.Fprint(out, s.Totals().Render())
+	fmt.Fprint(out, r.Service().Totals().Render())
 	return nil
 }
 
-// serviceWindow returns a tick window covering at least one privilege
-// rotation of the lock, used as the default run length and storm warm-up.
-func serviceWindow(lock service.Lock, g *graph.Graph) int {
-	type windower interface{ ServiceWindow() int }
-	if w, ok := lock.(windower); ok {
-		return w.ServiceWindow()
+// protoName renders the lock's report name.
+func protoName(r *scenario.Run) string {
+	type named interface{ Name() string }
+	return r.Protocol().(named).Name()
+}
+
+// runScenarioFile loads, overrides, builds, executes and reports a
+// scenario file. Command-line -backend/-workers/-seed (when explicitly
+// set) override the file's values, which is what lets CI drive one
+// checked-in file across every backend; any other explicitly-set
+// run-shaping flag is an error rather than a silent no-op.
+func runScenarioFile(fs *flag.FlagSet, path string, common *cli.Common, out io.Writer) error {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
 	}
-	return 8 * g.N() // Dijkstra's token laps the ring in n steps
+	var ignored []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "backend":
+			sc.Engine.Backend = common.Backend
+		case "workers":
+			sc.Engine.Workers = common.Workers
+		case "seed":
+			sc.Seed = common.Seed
+		case "scenario", "list":
+		default:
+			ignored = append(ignored, "-"+f.Name)
+		}
+	})
+	if len(ignored) > 0 {
+		return fmt.Errorf("%s cannot be combined with -scenario: the file defines the run (only -backend, -workers and -seed override it)",
+			strings.Join(ignored, ", "))
+	}
+	r, err := scenario.Build(sc)
+	if err != nil {
+		return err
+	}
+	if err := r.Execute(); err != nil {
+		return err
+	}
+	return r.WriteReport(out)
 }

@@ -75,3 +75,57 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunScenarioFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "../../examples/scenarios/ssme-storm.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// The checked-in storm scenario attaches three observers; all of their
+	// reports must appear in one run.
+	for _, want := range []string{"ssme-storm", "fault storm", "service totals", "convergence", "guards"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("scenario report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScenarioFileOverrides(t *testing.T) {
+	drive := func(extra ...string) string {
+		var out bytes.Buffer
+		args := append([]string{"-scenario", "../../examples/scenarios/ssme-storm.json"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	// -backend/-workers override the file without changing the execution.
+	if drive("-backend", "generic", "-workers", "1") != drive("-backend", "flat", "-workers", "8") {
+		t.Fatal("scenario report diverges between backend/worker overrides")
+	}
+	// -seed overrides the file's seed and must change the execution.
+	if drive() == drive("-seed", "99") {
+		t.Fatal("seed override had no effect")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"protocols:", "observers:", "ssme", "steplog"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunScenarioFileRejectsShapingFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "../../examples/scenarios/ssme-storm.json", "-n", "64"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-n cannot be combined") {
+		t.Fatalf("want a conflict error naming -n, got %v", err)
+	}
+}

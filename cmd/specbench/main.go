@@ -1,5 +1,8 @@
 // Command specbench regenerates the paper's "evaluation": every experiment
-// of DESIGN.md §4 (E1–E13), printed as plain-text tables or CSV.
+// of DESIGN.md §4 (E1–E13), printed as plain-text tables or CSV. Each row
+// of each table is a scenario-resolved run: the harness constructs all of
+// its engines through internal/scenario's backend chokepoint, so the
+// -backend/-workers knobs mean exactly what they mean everywhere else.
 //
 // Usage:
 //
@@ -16,30 +19,39 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"specstab/internal/cli"
 	"specstab/internal/experiments"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "specbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags are parsed from args and the
+// tables written to out (the smoke tests drive it directly).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specbench", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		expID   = flag.String("experiment", "", "experiment id (e1..e13); empty runs all")
-		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
-		seed    = flag.Int64("seed", 1, "random seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
-		backend = flag.String("backend", "auto", "engine execution backend: auto, generic, flat; executions are identical for every value")
+		expID  = fs.String("experiment", "", "experiment id (e1..e13); empty runs all")
+		quick  = fs.Bool("quick", false, "reduced sizes and trial counts")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		common = cli.AddCommon(fs)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := common.Resolve(); err != nil {
+		return err
+	}
 
-	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers, Backend: *backend}
+	cfg := experiments.RunConfig{Quick: *quick, Seed: common.Seed, Workers: common.Workers, Backend: common.Backend}
 	list := experiments.Registry()
 	if *expID != "" {
 		exp, err := experiments.ByID(*expID)
@@ -50,16 +62,16 @@ func run() error {
 	}
 
 	for _, exp := range list {
-		fmt.Printf("### %s — %s\n\n", exp.ID, exp.Title)
+		fmt.Fprintf(out, "### %s — %s\n\n", exp.ID, exp.Title)
 		tables, err := exp.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
 		for _, t := range tables {
 			if *csv {
-				fmt.Println(t.CSV())
+				fmt.Fprintln(out, t.CSV())
 			} else {
-				fmt.Println(t.String())
+				fmt.Fprintln(out, t.String())
 			}
 		}
 	}

@@ -1,0 +1,64 @@
+package main
+
+// Smoke tests: flag parsing and one quick experiment through the
+// scenario-routed harness.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "e1", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"### e1", "cherry"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "e5", "-quick", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ",") {
+		t.Fatalf("CSV output has no commas:\n%s", out.String())
+	}
+}
+
+func TestRunBackendsAgreeOnQuickExperiment(t *testing.T) {
+	drive := func(backend string, workers string) string {
+		var out bytes.Buffer
+		if err := run([]string{"-experiment", "e2", "-quick", "-backend", backend, "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	base := drive("generic", "1")
+	for _, alt := range []struct{ backend, workers string }{
+		{"flat", "1"}, {"generic", "8"}, {"flat", "8"}, {"auto", "2"},
+	} {
+		if got := drive(alt.backend, alt.workers); got != base {
+			t.Fatalf("e2 output diverges for -backend %s -workers %s", alt.backend, alt.workers)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-experiment", "e99"},
+		{"-backend", "nonsense"},
+		{"-bogus"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("want error for %v", args)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Command ssme runs the paper's mutual-exclusion protocol on a chosen
 // topology under a chosen daemon and reports the observed stabilization
-// against the paper's bounds, optionally with an execution trace.
+// against the paper's bounds, optionally with an execution trace. The run
+// itself is a declarative internal/scenario value — the flags only fill
+// it in — so any invocation is reproducible as a scenario file.
 //
 // Examples:
 //
@@ -12,13 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	"specstab/internal/cli"
 	"specstab/internal/core"
-	"specstab/internal/sim"
-	"specstab/internal/trace"
+	"specstab/internal/scenario"
 )
 
 func main() {
@@ -39,81 +39,70 @@ func run(args []string, out io.Writer) error {
 		daemonName = fs.String("daemon", "sync", "daemon: "+cli.Daemons)
 		prob       = fs.Float64("p", 0.5, "activation probability of the distributed daemon")
 		initMode   = fs.String("init", "random", "initial configuration: random, worst (Theorem 4 islands), uniform")
-		seed       = fs.Int64("seed", 1, "random seed")
 		traceEvery = fs.Int("trace", 0, "print a trace every N steps (0 disables)")
 		maxSteps   = fs.Int("steps", 0, "step budget (0 = protocol service window)")
+		common     = cli.AddCommon(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	g, err := cli.ParseTopology(*topology, *n, *seed)
-	if err != nil {
-		return err
-	}
-	p, err := core.New(g)
-	if err != nil {
-		return err
-	}
-	d, err := cli.ParseDaemon[int](*daemonName, g.N(), *prob)
-	if err != nil {
+	if _, err := common.Resolve(); err != nil {
 		return err
 	}
 
-	var initial sim.Config[int]
 	switch *initMode {
-	case "random":
-		initial = sim.RandomConfig[int](p, rand.New(rand.NewSource(*seed)))
-	case "worst":
-		initial, err = p.WorstSyncConfig()
-	case "uniform":
-		initial, err = p.UniformConfig(0)
+	case "random", "worst", "uniform":
 	default:
-		err = fmt.Errorf("unknown -init %q (random, worst, uniform)", *initMode)
+		return fmt.Errorf("unknown -init %q (random, worst, uniform)", *initMode)
 	}
+
+	sc := &scenario.Scenario{
+		Name:      "ssme-run",
+		Seed:      common.Seed,
+		Protocol:  scenario.ProtocolSpec{Name: "ssme"},
+		Topology:  scenario.TopologySpec{Name: *topology, N: *n},
+		Daemon:    scenario.DaemonSpec{Name: *daemonName, P: *prob},
+		Engine:    common.EngineSpec(),
+		Init:      scenario.InitSpec{Mode: *initMode},
+		Stop:      scenario.StopSpec{Steps: *maxSteps},
+		Observers: []scenario.ObserverSpec{{Name: "convergence"}},
+	}
+	if *traceEvery > 0 {
+		sc.Observers = append(sc.Observers, scenario.ObserverSpec{Name: "trace", Every: *traceEvery})
+	}
+	r, err := scenario.Build(sc)
 	if err != nil {
 		return err
 	}
+	p := r.Protocol().(*core.Protocol)
+	g := r.Graph()
 
 	fmt.Fprintf(out, "graph     : %s\n", g)
 	fmt.Fprintf(out, "clock     : %s\n", p.Clock())
-	fmt.Fprintf(out, "daemon    : %s\n", d.Name())
+	fmt.Fprintf(out, "daemon    : %s\n", r.DaemonName())
 	fmt.Fprintf(out, "bounds    : sync ⌈diam/2⌉ = %d steps; unfair ≤ %d moves; Γ₁ by 2n+diam = %d sync steps\n",
 		core.SyncBound(g), p.UnfairBoundMoves(), p.SyncUnisonHorizon())
 
-	horizon := p.ServiceWindow()
-	if *maxSteps > 0 {
-		horizon = *maxSteps
-	}
-
-	e, err := sim.NewEngine[int](p, d, initial, *seed)
-	if err != nil {
+	if err := r.Execute(); err != nil {
 		return err
 	}
-	var rec *trace.Recorder[int]
-	if *traceEvery > 0 {
-		rec = trace.NewRecorder[int](*traceEvery)
-		rec.Watch(e)
-	}
-	rep, err := sim.MeasureConvergence(e, horizon, p.SafeME, p.Legitimate)
-	if err != nil {
-		return err
-	}
+	rep := r.Observer("convergence").(*scenario.Convergence).RunReport()
+	horizon := r.Horizon()
 
 	fmt.Fprintf(out, "\nexecution : %d steps, %d moves (horizon %d)\n", rep.StepsExecuted, rep.MovesExecuted, horizon)
 	fmt.Fprintf(out, "conv time : %d steps (last double privilege at step %d)\n", rep.ConvergenceSteps, rep.LastViolationStep)
 	fmt.Fprintf(out, "Γ₁ entry  : step %d (%d moves)\n", rep.FirstLegitStep, rep.FirstLegitMoves)
 	fmt.Fprintf(out, "closure   : broken=%v\n", rep.ClosureBroken)
-	if d.Name() == "sd" {
+	if r.DaemonName() == "sd" {
 		status := "within bound"
 		if rep.ConvergenceSteps > core.SyncBound(g) {
 			status = "BOUND VIOLATED"
 		}
 		fmt.Fprintf(out, "Theorem 2 : measured %d ≤ %d — %s\n", rep.ConvergenceSteps, core.SyncBound(g), status)
 	}
-	if rec != nil {
-		fmt.Fprintf(out, "\n%s\n", trace.PrivilegeTimeline[int](rec, g.N(), p.Privileged))
-		fmt.Fprintln(out, trace.IntStrip(rec, g.N()))
+	if tr, ok := r.Observer("trace").(*scenario.Trace); ok && tr != nil {
+		fmt.Fprintf(out, "\n%s\n", tr.Timeline())
+		fmt.Fprintln(out, tr.Strip())
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"specstab/internal/cli"
 	"specstab/internal/core"
+	"specstab/internal/scenario"
 	"specstab/internal/unison"
 )
 
@@ -33,15 +34,21 @@ func run(args []string, out io.Writer) error {
 	var (
 		topology = fs.String("topology", "ring", "topology: "+cli.Topologies)
 		n        = fs.Int("n", 12, "number of vertices")
-		seed     = fs.Int64("seed", 1, "random seed (random topologies)")
 		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of the report")
 		figure   = fs.Bool("figure", false, "render the SSME clock cherry")
+		common   = cli.AddCommon(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// topoinfo computes graph constants rather than running engines, so
+	// -backend/-workers have no effect here — but the shared flag set is
+	// still validated, with the same error text as every other driver.
+	if _, err := common.Resolve(); err != nil {
+		return err
+	}
 
-	g, err := cli.ParseTopology(*topology, *n, *seed)
+	g, err := cli.ParseTopology(*topology, *n, common.Seed)
 	if err != nil {
 		return err
 	}
@@ -69,10 +76,11 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "is tree      : %v\n", g.IsTree())
 
-	p, err := core.New(g)
+	pAny, err := scenario.BuildProtocol(scenario.ProtocolSpec{Name: "ssme"}, g, *topology)
 	if err != nil {
 		return err
 	}
+	p := pAny.(*core.Protocol)
 	fmt.Fprintf(out, "\nSSME clock   : %s\n", p.Clock())
 	fmt.Fprintf(out, "sync bound   : ⌈diam/2⌉ = %d steps (Theorems 2+4)\n", core.SyncBound(g))
 	fmt.Fprintf(out, "unfair bound : %d moves (Theorem 3)\n", p.UnfairBoundMoves())

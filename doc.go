@@ -42,4 +42,17 @@
 // hit the running engine (sim.Engine.SetConfig), and recovery is measured
 // as clients observe it — grant latency, throughput, fairness, starvation
 // (E13, cmd/locksim, BENCH_service.json).
+//
+// The whole evaluation grid is declarative (DESIGN.md §8): an
+// internal/scenario.Scenario value names one run — protocol, topology,
+// daemon, backend, initial configuration, workload, fault storm, stop
+// condition, observers — against named registries of constructors, and
+// round-trips through JSON so a variant study is a shareable file
+// (locksim -scenario file.json; the catalogue is scenario.List / locksim
+// -list). Measurements compose: sim.Engine carries an AddHook observer
+// pipeline (trace, convergence, guard accounting, speculation curves,
+// service metrics can all watch one execution), replacing the
+// single-slot SetHook. Every cmd/ driver and the experiment harness
+// construct their runs through this layer; scenario-built runs are
+// differential-tested to fingerprint identically to hand-built ones.
 package specstab

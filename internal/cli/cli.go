@@ -1,124 +1,86 @@
-// Package cli holds the small helpers shared by the command-line tools
-// under cmd/: topology construction from flag values and daemon selection.
+// Package cli holds the flag-level helpers shared by the command-line
+// tools under cmd/: the common -backend/-workers/-seed flag set every
+// driver accepts with identical parsing and error text, and thin parsers
+// delegating to the named registries of internal/scenario (topologies,
+// daemons, backends), so the CLI vocabulary and the scenario vocabulary
+// are one and the same.
 package cli
 
 import (
-	"fmt"
-	"math/rand"
+	"flag"
 	"strings"
 
-	"specstab/internal/daemon"
 	"specstab/internal/graph"
+	"specstab/internal/scenario"
 	"specstab/internal/sim"
 )
 
 // Topologies lists the -topology values understood by ParseTopology.
-const Topologies = "ring, path, star, complete, grid, torus, hypercube, bintree, wheel, lollipop, petersen, randtree, randconn"
+var Topologies = strings.Join(scenario.TopologyNames(), ", ")
 
 // ParseTopology builds the graph named by name with main size n (rows
 // default to a near-square split for grid/torus; hypercube uses the
-// dimension that fits n; randconn adds n/2 extra edges).
+// dimension that fits n; randconn adds n/2 extra edges). It is the flag
+// front of scenario.BuildTopology.
 func ParseTopology(name string, n int, seed int64) (*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(seed))
-	switch strings.ToLower(name) {
-	case "ring":
-		return graph.Ring(n), nil
-	case "path":
-		return graph.Path(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "complete":
-		return graph.Complete(n), nil
-	case "grid":
-		rows, cols := split(n)
-		return graph.Grid(rows, cols), nil
-	case "torus":
-		rows, cols := split(n)
-		if rows < 3 {
-			rows = 3
-		}
-		if cols < 3 {
-			cols = 3
-		}
-		return graph.Torus(rows, cols), nil
-	case "hypercube":
-		dim := 1
-		for (1 << (dim + 1)) <= n {
-			dim++
-		}
-		return graph.Hypercube(dim), nil
-	case "bintree":
-		return graph.BinaryTree(n), nil
-	case "wheel":
-		return graph.Wheel(n), nil
-	case "lollipop":
-		half := n / 2
-		if half < 2 {
-			half = 2
-		}
-		return graph.Lollipop(half, n-half), nil
-	case "petersen":
-		return graph.Petersen(), nil
-	case "randtree":
-		return graph.RandomTree(n, rng), nil
-	case "randconn":
-		return graph.RandomConnected(n, n/2, rng), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q (choose from: %s)", name, Topologies)
-	}
-}
-
-func split(n int) (rows, cols int) {
-	rows = 1
-	for r := 2; r*r <= n; r++ {
-		if n%r == 0 {
-			rows = r
-		}
-	}
-	return rows, n / rows
+	return scenario.BuildTopology(scenario.TopologySpec{Name: name, N: n}, seed)
 }
 
 // Backends lists the -backend values understood by ParseBackend.
-const Backends = "auto, generic, flat"
+var Backends = strings.Join(scenario.BackendNames(), ", ")
 
 // ParseBackend resolves a -backend flag value to engine Options.
 // Executions are bitwise identical for every choice (DESIGN.md §6).
 func ParseBackend(name string) (sim.Options, error) {
-	switch strings.ToLower(name) {
-	case "", "auto":
-		return sim.Options{Backend: sim.BackendAuto}, nil
-	case "generic":
-		return sim.Options{Backend: sim.BackendGeneric}, nil
-	case "flat":
-		return sim.Options{Backend: sim.BackendFlat}, nil
-	default:
-		return sim.Options{}, fmt.Errorf("unknown backend %q (choose from: %s)", name, Backends)
-	}
+	return scenario.EngineSpec{Backend: name}.Options()
 }
 
 // Daemons lists the -daemon values understood by ParseDaemon.
-const Daemons = "sync, central, roundrobin, minid, maxid, distributed"
+var Daemons = strings.Join(scenario.DaemonNames(), ", ")
 
 // ParseDaemon builds the daemon named by name for an n-vertex system;
 // p is the activation probability of the distributed daemon.
 func ParseDaemon[S comparable](name string, n int, p float64) (sim.Daemon[S], error) {
-	switch strings.ToLower(name) {
-	case "sync", "sd":
-		return daemon.NewSynchronous[S](), nil
-	case "central", "random-central":
-		return daemon.NewRandomCentral[S](), nil
-	case "roundrobin", "rr":
-		return daemon.NewRoundRobin[S](n), nil
-	case "minid":
-		return daemon.NewMinIDCentral[S](), nil
-	case "maxid":
-		return daemon.NewMaxIDCentral[S](), nil
-	case "distributed", "ud":
-		if p <= 0 || p > 1 {
-			p = 0.5
-		}
-		return daemon.NewDistributed[S](p), nil
-	default:
-		return nil, fmt.Errorf("unknown daemon %q (choose from: %s)", name, Daemons)
+	return scenario.NewDaemon[S](scenario.DaemonSpec{Name: name, P: p}, n)
+}
+
+// Common is the flag set every driver shares. AddCommon registers the
+// flags; Resolve validates them after parsing. Workers means "engine
+// shard workers" for drivers running one engine and "trial pool workers"
+// for the experiment harness — in both cases results are identical for
+// every value, which is why one flag serves both.
+type Common struct {
+	// Backend is the raw -backend value (validated by Resolve).
+	Backend string
+	// Workers is the -workers value (0 = GOMAXPROCS).
+	Workers int
+	// Seed is the -seed value driving all randomness.
+	Seed int64
+}
+
+// AddCommon registers the shared -backend, -workers and -seed flags on fs
+// with the uniform help and error text of the repository's drivers.
+func AddCommon(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.StringVar(&c.Backend, "backend", "auto", "engine execution backend: "+Backends+"; executions are identical for every value")
+	fs.IntVar(&c.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS); results are identical for every value")
+	fs.Int64Var(&c.Seed, "seed", 1, "random seed")
+	return c
+}
+
+// Resolve validates the parsed common flags and returns the engine
+// options they select. Every driver calls it right after fs.Parse, so an
+// invalid -backend fails with the same error text everywhere.
+func (c *Common) Resolve() (sim.Options, error) {
+	opts, err := ParseBackend(c.Backend)
+	if err != nil {
+		return sim.Options{}, err
 	}
+	opts.Workers = c.Workers
+	return opts, nil
+}
+
+// EngineSpec returns the scenario-layer engine spec the flags select.
+func (c *Common) EngineSpec() scenario.EngineSpec {
+	return scenario.EngineSpec{Backend: c.Backend, Workers: c.Workers}
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"flag"
 	"strings"
 	"testing"
 )
@@ -54,5 +55,34 @@ func TestParseDaemonAll(t *testing.T) {
 	// Out-of-range p falls back to 0.5 rather than panicking.
 	if _, err := ParseDaemon[int]("distributed", 8, 7.0); err != nil {
 		t.Errorf("distributed with bad p: %v", err)
+	}
+}
+
+func TestAddCommonDefaultsAndResolve(t *testing.T) {
+	t.Parallel()
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := AddCommon(fs)
+	if err := fs.Parse([]string{"-backend", "flat", "-workers", "3", "-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Workers != 3 || c.Seed != 42 {
+		t.Fatalf("common flags parsed as %+v (workers %d)", c, opts.Workers)
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	c2 := AddCommon(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Backend != "auto" || c2.Workers != 0 || c2.Seed != 1 {
+		t.Fatalf("common defaults %+v, want auto/0/1", c2)
+	}
+	c2.Backend = "nonsense"
+	if _, err := c2.Resolve(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("want the uniform unknown-backend error, got %v", err)
 	}
 }

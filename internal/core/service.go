@@ -21,28 +21,28 @@ func (p *Protocol) ServiceOrder(e *sim.Engine[int], window int) ([]int, error) {
 	var order []int
 	n := p.g.N()
 	wasPrivileged := make([]bool, n)
+	// One pipeline registration for the whole window; appending directly to
+	// order keeps the hook composable with other observers on e.
+	id := e.AddHook(func(info sim.StepInfo) {
+		for _, v := range info.Activated {
+			if wasPrivileged[v] {
+				order = append(order, v)
+			}
+		}
+	})
+	defer e.RemoveHook(id)
 	for step := 0; step < window; step++ {
 		cur := e.Current()
 		for v := 0; v < n; v++ {
 			wasPrivileged[v] = p.Privileged(cur, v)
 		}
-		var served []int
-		e.SetHook(func(info sim.StepInfo) {
-			for _, v := range info.Activated {
-				if wasPrivileged[v] {
-					served = append(served, v)
-				}
-			}
-		})
 		progressed, err := e.Step()
-		e.SetHook(nil)
 		if err != nil {
 			return order, err
 		}
 		if !progressed {
 			return order, fmt.Errorf("core: terminal configuration during service analysis")
 		}
-		order = append(order, served...)
 	}
 	return order, nil
 }

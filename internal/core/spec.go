@@ -71,26 +71,30 @@ func (p *Protocol) MeasureService(e *sim.Engine[int], window int) (ServiceReport
 	lastServed := make([]int, n)
 	wasPrivileged := make([]bool, n)
 
-	for step := 1; step <= window; step++ {
+	// One pipeline registration for the whole window (the loop variables
+	// are captured by reference); the hook composes with any observers the
+	// caller has already attached to e.
+	var step, servedThisStep int
+	id := e.AddHook(func(info sim.StepInfo) {
+		for _, v := range info.Activated {
+			if wasPrivileged[v] {
+				rep.CSCount[v]++
+				servedThisStep++
+				if gap := step - lastServed[v]; gap > rep.MaxGap {
+					rep.MaxGap = gap
+				}
+				lastServed[v] = step
+			}
+		}
+	})
+	defer e.RemoveHook(id)
+	for step = 1; step <= window; step++ {
 		cur := e.Current()
 		for v := 0; v < n; v++ {
 			wasPrivileged[v] = p.Privileged(cur, v)
 		}
-		var servedThisStep int
-		e.SetHook(func(info sim.StepInfo) {
-			for _, v := range info.Activated {
-				if wasPrivileged[v] {
-					rep.CSCount[v]++
-					servedThisStep++
-					if gap := step - lastServed[v]; gap > rep.MaxGap {
-						rep.MaxGap = gap
-					}
-					lastServed[v] = step
-				}
-			}
-		})
+		servedThisStep = 0
 		progressed, err := e.Step()
-		e.SetHook(nil)
 		if err != nil {
 			return rep, err
 		}

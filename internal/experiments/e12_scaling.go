@@ -10,6 +10,7 @@ import (
 	"specstab/internal/daemon"
 	"specstab/internal/dijkstra"
 	"specstab/internal/graph"
+	"specstab/internal/scenario"
 	"specstab/internal/sim"
 	"specstab/internal/stats"
 	"specstab/internal/unison"
@@ -142,15 +143,15 @@ func e12CompositionTable(cfg RunConfig) (*stats.Table, error) {
 		initial := sim.RandomConfig[compose.Pair[int, int]](prod, rng)
 		seed := cfg.seed() + int64(n)
 
-		gen, err := sim.NewEngineWith[compose.Pair[int, int]](prod,
-			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed,
-			sim.Options{Backend: sim.BackendGeneric, Workers: 1})
+		gen, err := scenario.NewEngine[compose.Pair[int, int]](
+			scenario.EngineSpec{Backend: "generic", Workers: 1}, prod,
+			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
 		if err != nil {
 			return nil, err
 		}
-		flat, err := sim.NewEngineWith[compose.Pair[int, int]](prod,
-			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed,
-			sim.Options{Backend: sim.BackendFlat, Workers: 1})
+		flat, err := scenario.NewEngine[compose.Pair[int, int]](
+			scenario.EngineSpec{Backend: "flat", Workers: 1}, prod,
+			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -164,9 +165,9 @@ func e12CompositionTable(cfg RunConfig) (*stats.Table, error) {
 		}
 		// The executions are identical step for step; cross-check on the
 		// shared prefix by replaying the flat engine's first dg steps.
-		check, err := sim.NewEngineWith[compose.Pair[int, int]](prod,
-			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed,
-			sim.Options{Backend: sim.BackendFlat, Workers: 1})
+		check, err := scenario.NewEngine[compose.Pair[int, int]](
+			scenario.EngineSpec{Backend: "flat", Workers: 1}, prod,
+			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -297,15 +298,15 @@ func measureBackendCell[S comparable](cfg RunConfig, p sim.Protocol[S], salt, st
 	seed := cfg.seed() + int64(salt)
 	mk := func() sim.Daemon[S] { return daemon.NewSynchronous[S]() }
 
-	gen, err := sim.NewEngineWith(p, mk(), initial, seed, sim.Options{Backend: sim.BackendGeneric, Workers: 1})
+	gen, err := scenario.NewEngine(scenario.EngineSpec{Backend: "generic", Workers: 1}, p, mk(), initial, seed)
 	if err != nil {
 		return backendRow{}, err
 	}
-	flat, err := sim.NewEngineWith(p, mk(), initial, seed, sim.Options{Backend: sim.BackendFlat, Workers: 1})
+	flat, err := scenario.NewEngine(scenario.EngineSpec{Backend: "flat", Workers: 1}, p, mk(), initial, seed)
 	if err != nil {
 		return backendRow{}, err
 	}
-	flatPar, err := sim.NewEngineWith(p, mk(), initial, seed, sim.Options{Backend: sim.BackendFlat})
+	flatPar, err := scenario.NewEngine(scenario.EngineSpec{Backend: "flat"}, p, mk(), initial, seed)
 	if err != nil {
 		return backendRow{}, err
 	}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"specstab/internal/graph"
+	"specstab/internal/scenario"
 	"specstab/internal/sim"
 	"specstab/internal/stats"
 )
@@ -42,31 +43,23 @@ type RunConfig struct {
 	Backend string
 }
 
-// engineOptions translates the Backend knob for a concrete protocol.
+// engineSpec translates the Backend knob into the scenario layer's engine
+// spec: lenient, so "flat" sweeps fall back to the generic backend on
+// protocols without a codec instead of failing the whole suite.
+func (c RunConfig) engineSpec() scenario.EngineSpec {
+	return scenario.EngineSpec{Backend: c.Backend, LenientFlat: true}
+}
+
+// engineOptions resolves the Backend knob for a concrete protocol.
 func engineOptions[S comparable](cfg RunConfig, p sim.Protocol[S]) (sim.Options, error) {
-	switch cfg.Backend {
-	case "", "auto":
-		return sim.Options{Backend: sim.BackendAuto}, nil
-	case "generic":
-		return sim.Options{Backend: sim.BackendGeneric}, nil
-	case "flat":
-		if sim.FlatOf(p) == nil {
-			return sim.Options{Backend: sim.BackendGeneric}, nil
-		}
-		return sim.Options{Backend: sim.BackendFlat}, nil
-	default:
-		return sim.Options{}, fmt.Errorf("experiments: unknown backend %q (auto, generic, flat)", cfg.Backend)
-	}
+	return scenario.OptionsFor(cfg.engineSpec(), p)
 }
 
 // newEngine builds an engine honoring the RunConfig backend knob; every
-// experiment constructs its engines through it.
+// experiment constructs its engines through the scenario layer's
+// chokepoint (specbench rows are scenario-resolved runs).
 func newEngine[S comparable](cfg RunConfig, p sim.Protocol[S], d sim.Daemon[S], initial sim.Config[S], seed int64) (*sim.Engine[S], error) {
-	opts, err := engineOptions(cfg, p)
-	if err != nil {
-		return nil, err
-	}
-	return sim.NewEngineWith(p, d, initial, seed, opts)
+	return scenario.NewEngine(cfg.engineSpec(), p, d, initial, seed)
 }
 
 func (c RunConfig) seed() int64 {

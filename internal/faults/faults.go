@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"specstab/internal/scenario"
 	"specstab/internal/sim"
 )
 
@@ -73,6 +74,10 @@ type Scenario[S comparable] struct {
 	Safe  func(sim.Config[S]) bool
 	// HorizonSteps bounds each recovery phase.
 	HorizonSteps int
+	// Engine selects the execution backend and shard workers of the
+	// recovery engines (zero value = automatic backend). Campaigns are
+	// bitwise identical for every choice.
+	Engine scenario.EngineSpec
 }
 
 // Run starts from initial, lets the system stabilize once, then applies
@@ -99,7 +104,7 @@ func (s Scenario[S]) Run(initial sim.Config[S], bursts []Burst, seed int64) ([]R
 	recoveries := make([]Recovery, 0, len(bursts))
 	for i, b := range bursts {
 		// Quiet period before the burst.
-		e, err := sim.NewEngine(s.Protocol, s.NewDaemon(), cfg, rng.Int63())
+		e, err := scenario.NewEngine(s.Engine, s.Protocol, s.NewDaemon(), cfg, rng.Int63())
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +133,7 @@ func (s Scenario[S]) recover(cfg sim.Config[S], rng *rand.Rand) (sim.Config[S], 
 	if safe == nil {
 		safe = s.Legit
 	}
-	e, err := sim.NewEngine(s.Protocol, s.NewDaemon(), cfg, rng.Int63())
+	e, err := scenario.NewEngine(s.Engine, s.Protocol, s.NewDaemon(), cfg, rng.Int63())
 	if err != nil {
 		return nil, Recovery{}, err
 	}

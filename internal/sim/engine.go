@@ -19,9 +19,33 @@ type StepInfo struct {
 	Rules []Rule
 }
 
-// Hook observes executed steps. The Activated/Rules slices are reused
-// between steps; copy them if retained.
+// Clone returns a StepInfo with independently owned Activated/Rules
+// slices — the copy a hook must take before retaining the info beyond its
+// own invocation (see Hook).
+func (i StepInfo) Clone() StepInfo {
+	out := StepInfo{Step: i.Step}
+	if i.Activated != nil {
+		out.Activated = append(make([]int, 0, len(i.Activated)), i.Activated...)
+	}
+	if i.Rules != nil {
+		out.Rules = append(make([]Rule, 0, len(i.Rules)), i.Rules...)
+	}
+	return out
+}
+
+// Hook observes executed steps.
+//
+// Aliasing contract: the Activated and Rules slices are owned by the
+// engine and reused between steps — they are valid only for the duration
+// of the hook invocation. A hook that retains the info (step logs,
+// deferred analysis) must take StepInfo.Clone; a hook that only reads the
+// slices inside its body needs no copy. Hooks run synchronously on the
+// engine's step path after the state commit, so they observe the
+// post-step configuration via Current().
 type Hook func(StepInfo)
+
+// HookID identifies a hook installed with AddHook, for RemoveHook.
+type HookID int
 
 // Engine drives one execution of a protocol under a daemon from a given
 // initial configuration. It is deterministic: given the same protocol,
@@ -53,7 +77,12 @@ type Engine[S comparable] struct {
 
 	steps int
 	moves int
-	hook  Hook
+
+	// Observer pipeline: hook is the deprecated single SetHook slot, hooks
+	// the AddHook fan-out (invoked in insertion order after the slot).
+	hook   Hook
+	hooks  []hookEntry
+	nextID HookID
 
 	// Round accounting: a round is a minimal execution segment in which
 	// every vertex enabled at the segment's start is activated or
@@ -375,8 +404,62 @@ func (e *Engine[S]) DisableIncremental() {
 	e.enabledAlt = nil
 }
 
-// SetHook installs a step observer (nil removes it).
+// hookEntry is one AddHook registration.
+type hookEntry struct {
+	id HookID
+	h  Hook
+}
+
+// SetHook installs a step observer in the legacy single-hook slot (nil
+// removes it). The slot holds at most one hook — a second SetHook silently
+// replaces the first, which is exactly the overwrite footgun AddHook
+// exists to fix.
+//
+// Deprecated: use AddHook/RemoveHook; observers then compose instead of
+// clobbering each other. SetHook is kept as a shim so existing call sites
+// keep their replace-semantics; the slot runs before the AddHook pipeline.
 func (e *Engine[S]) SetHook(h Hook) { e.hook = h }
+
+// AddHook appends h to the engine's observer pipeline and returns an id
+// for RemoveHook. Hooks run synchronously after each committed step, in
+// insertion order, after the legacy SetHook slot; every hook sees the same
+// StepInfo (subject to the aliasing contract on Hook). Any number of
+// observers — traces, convergence measurement, guard accounting, service
+// adapters — can therefore watch one engine without conflicting.
+func (e *Engine[S]) AddHook(h Hook) HookID {
+	e.nextID++
+	e.hooks = append(e.hooks, hookEntry{id: e.nextID, h: h})
+	return e.nextID
+}
+
+// RemoveHook uninstalls the hook registered under id, reporting whether it
+// was present. Removal swaps in a fresh registration list, so a removal
+// performed from inside a hook is safe: the in-flight step finishes over
+// the old list (the removed hook still sees that step) and later steps use
+// the new one.
+func (e *Engine[S]) RemoveHook(id HookID) bool {
+	for i := range e.hooks {
+		if e.hooks[i].id == id {
+			out := make([]hookEntry, 0, len(e.hooks)-1)
+			out = append(out, e.hooks[:i]...)
+			out = append(out, e.hooks[i+1:]...)
+			e.hooks = out
+			return true
+		}
+	}
+	return false
+}
+
+// fireHooks runs the legacy slot and then the pipeline for one step, over
+// a snapshot of the registration list (see RemoveHook).
+func (e *Engine[S]) fireHooks(info StepInfo) {
+	if e.hook != nil {
+		e.hook(info)
+	}
+	for _, he := range e.hooks {
+		he.h(info)
+	}
+}
 
 // SetConfig replaces the live configuration mid-execution — the transient
 // fault of the paper's model, injected without tearing the engine down
@@ -551,9 +634,7 @@ func (e *Engine[S]) Step() (bool, error) {
 		e.refreshEnabled(e.selected)
 	}
 	e.settleRound(e.selected)
-	if e.hook != nil {
-		e.hook(StepInfo{Step: e.steps, Activated: e.selected, Rules: e.rules})
-	}
+	e.fireHooks(StepInfo{Step: e.steps, Activated: e.selected, Rules: e.rules})
 	return true, nil
 }
 

@@ -1,0 +1,128 @@
+package sim_test
+
+import (
+	"testing"
+
+	"specstab/internal/daemon"
+	"specstab/internal/dijkstra"
+	"specstab/internal/sim"
+)
+
+// newHookEngine builds a small dijkstra engine for hook-pipeline tests.
+func newHookEngine(t *testing.T) *sim.Engine[int] {
+	t.Helper()
+	p := dijkstra.MustNew(6, 6)
+	e, err := sim.NewEngine[int](p, daemon.NewSynchronous[int](), p.WorstConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAddHookFanOut(t *testing.T) {
+	t.Parallel()
+	e := newHookEngine(t)
+	var a, b, legacy int
+	e.SetHook(func(sim.StepInfo) { legacy++ })
+	e.AddHook(func(sim.StepInfo) { a++ })
+	idB := e.AddHook(func(sim.StepInfo) { b++ })
+	for i := 0; i < 5; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a != 5 || b != 5 || legacy != 5 {
+		t.Fatalf("hook counts a=%d b=%d legacy=%d, want 5 each", a, b, legacy)
+	}
+	if !e.RemoveHook(idB) {
+		t.Fatal("RemoveHook did not find the registered hook")
+	}
+	if e.RemoveHook(idB) {
+		t.Fatal("RemoveHook found an already-removed hook")
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if a != 6 || b != 5 {
+		t.Fatalf("after removal a=%d b=%d, want 6 and 5", a, b)
+	}
+}
+
+func TestAddHookOrderAndSetHookShim(t *testing.T) {
+	t.Parallel()
+	e := newHookEngine(t)
+	var order []string
+	e.AddHook(func(sim.StepInfo) { order = append(order, "first") })
+	e.SetHook(func(sim.StepInfo) { order = append(order, "slot") })
+	e.AddHook(func(sim.StepInfo) { order = append(order, "second") })
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"slot", "first", "second"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	// The shim keeps replace semantics: nil clears the slot while the
+	// pipeline registrations stay attached.
+	e.SetHook(nil)
+	order = order[:0]
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("after SetHook(nil): %v, want only the two AddHook entries", order)
+	}
+}
+
+func TestRemoveHookDuringInvocation(t *testing.T) {
+	t.Parallel()
+	e := newHookEngine(t)
+	var a, b int
+	var idA sim.HookID
+	idA = e.AddHook(func(sim.StepInfo) {
+		a++
+		e.RemoveHook(idA) // self-removal mid-step must not skip the next hook
+	})
+	e.AddHook(func(sim.StepInfo) { b++ })
+	for i := 0; i < 3; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a != 1 || b != 3 {
+		t.Fatalf("a=%d b=%d, want 1 and 3", a, b)
+	}
+}
+
+func TestStepInfoClone(t *testing.T) {
+	t.Parallel()
+	e := newHookEngine(t)
+	var retained []sim.StepInfo
+	e.AddHook(func(info sim.StepInfo) {
+		retained = append(retained, info.Clone())
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, info := range retained {
+		if info.Step != i+1 {
+			t.Fatalf("cloned info %d has Step %d, want %d", i, info.Step, i+1)
+		}
+		if len(info.Activated) == 0 || len(info.Rules) != len(info.Activated) {
+			t.Fatalf("cloned info %d has inconsistent slices: %+v", i, info)
+		}
+	}
+	// Clones must be independent of the engine's scratch buffers: mutating
+	// one retained record cannot affect another.
+	retained[0].Activated[0] = -1
+	if retained[1].Activated[0] == -1 {
+		t.Fatal("clones alias the same backing array")
+	}
+}

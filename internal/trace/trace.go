@@ -44,12 +44,14 @@ func (r *Recorder[S]) At(i int) (int, sim.Config[S]) { return r.steps[i], r.conf
 
 // Watch attaches the recorder to an engine: it snapshots the current
 // configuration now (as the initial one if nothing is recorded yet) and
-// after every subsequent step. It replaces the engine's hook.
-func (r *Recorder[S]) Watch(e *sim.Engine[S]) {
+// after every subsequent step. It joins the engine's observer pipeline
+// (sim.Engine.AddHook), so recording composes with other observers; the
+// returned id detaches the recorder via RemoveHook.
+func (r *Recorder[S]) Watch(e *sim.Engine[S]) sim.HookID {
 	if r.Len() == 0 {
 		r.Record(e.Steps(), e.Current())
 	}
-	e.SetHook(func(info sim.StepInfo) {
+	return e.AddHook(func(info sim.StepInfo) {
 		r.Record(info.Step, e.Current())
 	})
 }
