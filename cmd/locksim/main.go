@@ -26,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"specstab/internal/campaign"
 	"specstab/internal/cli"
 	"specstab/internal/scenario"
 	"specstab/internal/stats"
@@ -45,6 +46,8 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		scenarioFile = fs.String("scenario", "", "run a scenario JSON file instead of the flag-built one")
+		campaignFile = fs.String("campaign", "", "run a campaign (storm grid) JSON file or built-in name instead of one scenario")
+		checkpoint   = fs.String("checkpoint", "", "campaign checkpoint journal: completed cells resume from it")
 		list         = fs.Bool("list", false, "print the scenario registry catalogue and exit")
 		protocol     = fs.String("protocol", "ssme", "lock protocol: ssme, dijkstra, lexclusion")
 		topology     = fs.String("topology", "ring", "topology: "+cli.Topologies)
@@ -74,6 +77,12 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *campaignFile != "" {
+		return runCampaignFile(fs, *campaignFile, *checkpoint, common, out)
+	}
+	if *checkpoint != "" {
+		return fmt.Errorf("-checkpoint needs -campaign")
+	}
 	if *scenarioFile != "" {
 		return runScenarioFile(fs, *scenarioFile, common, out)
 	}
@@ -137,6 +146,52 @@ func run(args []string, out io.Writer) error {
 func protoName(r *scenario.Run) string {
 	type named interface{ Name() string }
 	return r.Protocol().(named).Name()
+}
+
+// runCampaignFile runs a whole storm grid — a campaign JSON file or a
+// built-in name — through the campaign runner, with the same override
+// rules as -scenario: only -backend, -workers and -seed may accompany it.
+func runCampaignFile(fs *flag.FlagSet, nameOrPath, checkpoint string, common *cli.Common, out io.Writer) error {
+	var c *campaign.Campaign
+	var err error
+	if strings.HasSuffix(nameOrPath, ".json") || strings.ContainsAny(nameOrPath, "/\\") {
+		c, err = campaign.Load(nameOrPath)
+	} else {
+		c, err = campaign.ByName(nameOrPath)
+	}
+	if err != nil {
+		return err
+	}
+	opts := campaign.RunOptions{
+		Pool:       campaign.Pool{Workers: common.Workers},
+		Checkpoint: checkpoint,
+	}
+	var ignored []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "backend", "workers":
+			spec := common.EngineSpec()
+			opts.Engine = &spec
+		case "seed":
+			c.Base.Seed = common.Seed
+		case "campaign", "checkpoint", "list":
+		default:
+			ignored = append(ignored, "-"+f.Name)
+		}
+	})
+	if len(ignored) > 0 {
+		return fmt.Errorf("%s cannot be combined with -campaign: the file defines the grid (only -backend, -workers and -seed override it)",
+			strings.Join(ignored, ", "))
+	}
+	res, err := c.Run(opts)
+	if err != nil {
+		return err
+	}
+	if res.Resumed > 0 {
+		fmt.Fprintf(out, "resumed %d completed cell(s) from %s\n\n", res.Resumed, checkpoint)
+	}
+	fmt.Fprintln(out, res.Table.String())
+	return nil
 }
 
 // runScenarioFile loads, overrides, builds, executes and reports a

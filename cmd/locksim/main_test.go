@@ -129,3 +129,25 @@ func TestRunScenarioFileRejectsShapingFlags(t *testing.T) {
 		t.Fatalf("want a conflict error naming -n, got %v", err)
 	}
 }
+
+func TestRunCampaign(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", "stall-curve"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stallTicks") {
+		t.Fatalf("campaign table missing metric column:\n%s", out.String())
+	}
+}
+
+func TestRunCampaignRejectsShapingFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-campaign", "stall-curve", "-n", "32"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "cannot be combined with -campaign") {
+		t.Fatalf("err = %v, want the shaping-flag rejection", err)
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-checkpoint", "x.journal"}, &out2); err == nil {
+		t.Fatal("-checkpoint without -campaign accepted")
+	}
+}

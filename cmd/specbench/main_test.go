@@ -62,3 +62,84 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCampaignBuiltin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", "stall-curve"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"stall-curve", "stallTicks", "fit "} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("campaign report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCampaignDumpAndList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", "e13a-storm", "-dump"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"axes"`) {
+		t.Fatalf("-dump did not emit campaign JSON:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"built-in campaigns:", "e13a-storm", "metrics:", "reduce statistics:", "experiments:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCampaignFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", "no-such-campaign"}, &out); err == nil {
+		t.Fatal("unknown built-in accepted")
+	}
+	if err := run([]string{"-checkpoint", "x.journal"}, &out); err == nil {
+		t.Fatal("-checkpoint without -campaign accepted")
+	}
+	if err := run([]string{"-dump"}, &out); err == nil {
+		t.Fatal("-dump without -campaign accepted")
+	}
+}
+
+func TestRunCampaignCSVStreamsRows(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", "stall-curve", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // header + 3 sizes
+		t.Fatalf("%d CSV lines, want 4:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "n,trials,") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+}
+
+func TestRunCampaignRejectsShapingFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-campaign", "stall-curve", "-quick", "-experiment", "e3"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "cannot be combined with -campaign") {
+		t.Fatalf("err = %v, want the shaping-flag rejection", err)
+	}
+}
+
+func TestByNameIsolation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", "stall-curve", "-seed", "999", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-campaign", "stall-curve", "-dump"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "999") {
+		t.Fatalf("a -seed override leaked into the built-in registry:\n%s", out.String())
+	}
+}

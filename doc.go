@@ -30,10 +30,10 @@
 //     executions for every backend, worker count and shard size, at a
 //     fraction of the ns/step (BENCH_flat.json), and compositions become
 //     zero-copy via the stride/base calling convention.
-//   - Parallel trials: internal/experiments fans independent seeded trials
-//     over a worker pool (one Engine+Daemon per worker); per-trial seeds
-//     are fixed before the fan-out and results fold in trial order, so
-//     tables are identical for every worker count.
+//   - The grid scheduler: internal/campaign fans cell×trial tasks over a
+//     worker pool (one Engine+Daemon per task); per-cell randomness is
+//     fixed at grid expansion and folds run in grid order, so tables are
+//     identical for every worker count.
 //
 // On top of the substrate, internal/service turns privileges into a
 // mutual-exclusion service: client populations (open- and closed-loop, up
@@ -43,16 +43,22 @@
 // as clients observe it — grant latency, throughput, fairness, starvation
 // (E13, cmd/locksim, BENCH_service.json).
 //
-// The whole evaluation grid is declarative (DESIGN.md §8): an
+// The whole evaluation grid is declarative (DESIGN.md §8–§9): an
 // internal/scenario.Scenario value names one run — protocol, topology,
 // daemon, backend, initial configuration, workload, fault storm, stop
 // condition, observers — against named registries of constructors, and
 // round-trips through JSON so a variant study is a shareable file
 // (locksim -scenario file.json; the catalogue is scenario.List / locksim
-// -list). Measurements compose: sim.Engine carries an AddHook observer
-// pipeline (trace, convergence, guard accounting, speculation curves,
-// service metrics can all watch one execution), replacing the
-// single-slot SetHook. Every cmd/ driver and the experiment harness
-// construct their runs through this layer; scenario-built runs are
-// differential-tested to fingerprint identically to hand-built ones.
+// -list). An internal/campaign.Campaign value names a whole sweep — a
+// base scenario, axes over any of its fields, trials, metrics and
+// aggregation statistics — expanded into a cartesian grid, executed on
+// the scheduler, aggregated into streaming tables, and resumable through
+// a fingerprint-keyed checkpoint journal (specbench -campaign file.json,
+// locksim -campaign; built-ins resolve by name). Measurements compose:
+// sim.Engine carries an AddHook observer pipeline (trace, convergence,
+// guard accounting, speculation curves, service metrics can all watch
+// one execution). Every cmd/ driver and the experiment harness construct
+// their runs through these layers; the experiments themselves are
+// campaign grids plus thin metric extractors, and scenario-built runs
+// are differential-tested to fingerprint identically to hand-built ones.
 package specstab

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"specstab/internal/scenario"
+)
+
+// Built-in campaigns, resolved by name (`specbench -campaign e13a-storm`).
+// Each is an ordinary Campaign value — `specbench -campaign <name> -dump`
+// prints the JSON, which is exactly what a user would write by hand; the
+// checked-in examples/campaigns files are dumps of these grids with
+// walkthrough comments in the adjacent README.
+
+// builtinRegistry lists the built-in campaigns in presentation order.
+var builtinRegistry = []*Campaign{e13aStorm(), stallCurve(), daemonSpectrum()}
+
+// Builtins returns the built-in campaigns in presentation order.
+func Builtins() []*Campaign { return builtinRegistry }
+
+// BuiltinNames returns the built-in campaign names.
+func BuiltinNames() []string {
+	out := make([]string, len(builtinRegistry))
+	for i, c := range builtinRegistry {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ByName resolves a built-in campaign. The returned value is a copy:
+// drivers override fields (seed, engine spec) on it, and the registry
+// must survive unmutated for the next caller in the process.
+func ByName(name string) (*Campaign, error) {
+	for _, c := range builtinRegistry {
+		if strings.EqualFold(c.Name, name) {
+			cp := *c
+			return &cp, nil
+		}
+	}
+	return nil, fmt.Errorf("campaign: unknown built-in %q (choose from: %s)", name, strings.Join(BuiltinNames(), ", "))
+}
+
+// e13aStorm is the E13a grid as data: lock × daemon under full-corruption
+// storms, scored in client-observed and protocol-observed recovery. The
+// lock axis carries the linked fields an independent-axis grid cannot —
+// per-lock topology, storm horizons and the E13a trial-seed salt
+// (base seed 1 → 1·1 000 003 + corrupt registers).
+func e13aStorm() *Campaign {
+	lock := func(label string, set map[string]any) Point { return Point{Label: label, Set: set} }
+	return &Campaign{
+		Name: "e13a-storm",
+		Doc: "locks under live fault storms: client-observed (stall) vs protocol-observed (legit) recovery; " +
+			"Dijkstra never stalls but serves unsafely while stabilizing, SSME stalls about one rotation with (almost) no unsafe tick",
+		Base: scenario.Scenario{
+			Seed:     1_000_011, // 1·1 000 003 + 8 corrupt registers, the E13a trial-seed salt
+			Protocol: scenario.ProtocolSpec{Name: "ssme"},
+			Topology: scenario.TopologySpec{Name: "ring", N: 8},
+			Workload: &scenario.WorkloadSpec{Kind: "closed", ThinkMax: 3},
+			Storm:    &scenario.StormSpec{Bursts: 1, Corrupt: 8, HorizonTicks: 696},
+		},
+		Axes: []Axis{
+			{Name: "lock", Points: []Point{
+				lock("ssme@ring-8", map[string]any{
+					"protocol.name": "ssme", "topology.name": "ring", "topology.n": 8,
+					"storm.corrupt": 8, "storm.horizonTicks": 696, "seed": 1_000_011,
+				}),
+				lock("ssme@grid-3x3", map[string]any{
+					"protocol.name": "ssme", "topology.name": "grid", "topology.n": 9,
+					"storm.corrupt": 9, "storm.horizonTicks": 784, "seed": 1_000_012,
+				}),
+				lock("dijkstra@ring-8", map[string]any{
+					"protocol.name": "dijkstra", "topology.name": "ring", "topology.n": 8,
+					"storm.corrupt": 8, "storm.warmTicks": 32, "storm.horizonTicks": 256,
+					"storm.settleTicks": 16, "seed": 1_000_011,
+				}),
+				lock("lexclusion[l=2]@ring-8", map[string]any{
+					"protocol.name": "lexclusion", "protocol.l": 2, "topology.name": "ring", "topology.n": 8,
+					"storm.corrupt": 8, "storm.horizonTicks": 440, "seed": 1_000_011,
+				}),
+			}},
+			{Name: "daemon", Points: []Point{
+				{Label: "sd", Set: map[string]any{"daemon.name": "sync"}},
+				{Label: "ud/distributed-p0.50", Set: map[string]any{"daemon.name": "distributed", "daemon.p": 0.5}},
+			}},
+		},
+		Trials:  2,
+		Metrics: []string{"resumed", "stallTicks", "legitTicks", "stormUnsafeTicks", "preGrantsPerTick", "postLatP95", "jainClients"},
+		Reduce:  []string{"worst", "mean"},
+	}
+}
+
+// stallCurve is the E13b reading as data: client-observed recovery of the
+// SSME service on rings of growing size under sd, with the power-law fit
+// of the stall — the service-level speculation curve.
+func stallCurve() *Campaign {
+	return &Campaign{
+		Name: "stall-curve",
+		Doc: "client-observed speculation curve: worst grant-stream stall after full corruption on growing rings under sd; " +
+			"client time adds the privilege-rotation delay, so the stall grows ~linearly where protocol stabilization is Θ(diam)",
+		Base: scenario.Scenario{
+			Seed:     1,
+			Protocol: scenario.ProtocolSpec{Name: "ssme"},
+			Topology: scenario.TopologySpec{Name: "ring", N: 6},
+			Workload: &scenario.WorkloadSpec{Kind: "closed", ThinkMax: 3},
+			Storm:    &scenario.StormSpec{Bursts: 1}, // corrupt 0 = every register
+		},
+		Axes: []Axis{
+			{Name: "n", Field: "topology.n", Values: []any{6, 10, 14}},
+		},
+		Trials:  2,
+		Metrics: []string{"resumed", "stallTicks", "legitTicks"},
+		Fit:     &FitSpec{Axis: "n", Metric: "stallTicks"},
+	}
+}
+
+// daemonSpectrum is the E9 reading as data: SSME stabilization across the
+// daemon spectrum on one ring, in all three time measures.
+func daemonSpectrum() *Campaign {
+	return &Campaign{
+		Name: "daemon-spectrum",
+		Doc: "SSME across the daemon spectrum: steps to termination separate (central schedules pay one move per step), " +
+			"rounds stay daemon-invariant — the speculation gap lives in the step measure",
+		Base: scenario.Scenario{
+			Seed:     1,
+			Protocol: scenario.ProtocolSpec{Name: "ssme"},
+			Topology: scenario.TopologySpec{Name: "ring", N: 8},
+			Init:     scenario.InitSpec{Mode: "random"},
+			Stop:     scenario.StopSpec{Steps: 4096, UntilLegitimate: true},
+		},
+		Axes: []Axis{
+			{Name: "n", Field: "topology.n", Values: []any{8, 12, 16}},
+			{Name: "daemon", Points: []Point{
+				{Label: "roundrobin", Set: map[string]any{"daemon.name": "roundrobin"}},
+				{Label: "distributed-p0.50", Set: map[string]any{"daemon.name": "distributed", "daemon.p": 0.5}},
+				{Label: "sync", Set: map[string]any{"daemon.name": "sync"}},
+			}},
+		},
+		Trials:  3,
+		Metrics: []string{"steps", "moves", "rounds", "legit"},
+		Reduce:  []string{"worst"},
+		Fit:     &FitSpec{Axis: "n", Metric: "steps"},
+	}
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuiltinsExpand: every built-in campaign has a valid grid.
+func TestBuiltinsExpand(t *testing.T) {
+	t.Parallel()
+	for _, c := range Builtins() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			cells, err := c.Cells()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cells) == 0 {
+				t.Fatal("empty grid")
+			}
+			if _, err := ByName(c.Name); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if _, err := ByName("no-such-campaign"); err == nil {
+		t.Fatal("unknown built-in name was accepted")
+	}
+}
+
+// TestExampleFilesMatchBuiltins: the checked-in examples/campaigns files
+// are dumps of the built-ins — loading one must reproduce the built-in's
+// grid cell for cell (fingerprints equal), so the files never drift from
+// the code.
+func TestExampleFilesMatchBuiltins(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join("..", "..", "examples", "campaigns")
+	for _, c := range Builtins() {
+		c := c
+		path := filepath.Join(dir, c.Name+".json")
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("missing example file for built-in: %v", err)
+			}
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.Cells()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Cells()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("grid size %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Fingerprint != want[i].Fingerprint {
+					t.Fatalf("cell %d (%v) fingerprint drifted from the built-in", i, want[i].Labels)
+				}
+			}
+		})
+	}
+}

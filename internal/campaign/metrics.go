@@ -1,0 +1,212 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"specstab/internal/scenario"
+)
+
+// A metric is one named per-trial measurement extracted from an executed
+// scenario.Run. Metrics come in three kinds, matching the three run
+// shapes a scenario can take; asking a protocol-only run for a storm
+// metric is a validation error, not a zero.
+
+type metricKind int
+
+const (
+	metricEngine  metricKind = iota // any run
+	metricLegit                     // needs a legitimacy predicate
+	metricService                   // needs a workload
+	metricStorm                     // needs a storm
+)
+
+type metricEntry struct {
+	name    string
+	desc    string
+	kind    metricKind
+	extract func(r *scenario.Run) float64
+}
+
+// metricRegistry lists every metric a campaign can name, in presentation
+// order. Worst/mean/percentile reduction over trials happens downstream
+// (reduce.go); extraction is always a single float per trial.
+var metricRegistry = []metricEntry{
+	{"steps", "engine steps executed", metricEngine,
+		func(r *scenario.Run) float64 { return float64(r.Engine().Steps()) }},
+	{"moves", "vertex moves executed", metricEngine,
+		func(r *scenario.Run) float64 { return float64(r.Engine().Moves()) }},
+	{"rounds", "asynchronous rounds completed", metricEngine,
+		func(r *scenario.Run) float64 { return float64(r.Engine().Rounds()) }},
+	{"guardEvals", "guard evaluations spent by the engine", metricEngine,
+		func(r *scenario.Run) float64 { return float64(r.Engine().GuardEvals()) }},
+	{"terminal", "1 when the run reached a terminal configuration", metricEngine,
+		func(r *scenario.Run) float64 { return b2f(r.Terminal()) }},
+	{"legit", "1 when the final configuration is legitimate", metricLegit,
+		func(r *scenario.Run) float64 { return b2f(r.Probes().Legitimate()) }},
+	{"grants", "critical sections served", metricService,
+		func(r *scenario.Run) float64 { return float64(r.Service().Totals().Grants) }},
+	{"grantsPerTick", "served throughput", metricService,
+		func(r *scenario.Run) float64 { return r.Service().Totals().GrantsPerTick }},
+	{"latP50", "median grant latency (ticks waited)", metricService,
+		func(r *scenario.Run) float64 { return r.Service().Totals().LatP50 }},
+	{"latP95", "95th-percentile grant latency", metricService,
+		func(r *scenario.Run) float64 { return r.Service().Totals().LatP95 }},
+	{"latP99", "99th-percentile grant latency", metricService,
+		func(r *scenario.Run) float64 { return r.Service().Totals().LatP99 }},
+	{"jainClients", "Jain fairness over client grant counts", metricService,
+		func(r *scenario.Run) float64 { return r.Service().Totals().JainClients }},
+	{"jainVertices", "Jain fairness over vertex grant counts", metricService,
+		func(r *scenario.Run) float64 { return r.Service().Totals().JainVertices }},
+	{"unsafeTicks", "ticks exposing more privileges than capacity", metricService,
+		func(r *scenario.Run) float64 { return float64(r.Service().Totals().UnsafeTicks) }},
+	{"resumed", "fraction of bursts whose grant stream resumed", metricStorm,
+		func(r *scenario.Run) float64 {
+			recs := r.Recoveries()
+			if len(recs) == 0 {
+				return 0
+			}
+			n := 0
+			for _, rec := range recs {
+				if rec.Resumed {
+					n++
+				}
+			}
+			return float64(n) / float64(len(recs))
+		}},
+	{"stallTicks", "worst grant-stream stall over bursts (client-observed recovery)", metricStorm,
+		func(r *scenario.Run) float64 {
+			worst := 0
+			for _, rec := range r.Recoveries() {
+				if rec.StallTicks > worst {
+					worst = rec.StallTicks
+				}
+			}
+			return float64(worst)
+		}},
+	{"legitTicks", "worst ticks to Γ-re-entry over bursts (−1 when unobserved)", metricStorm,
+		func(r *scenario.Run) float64 {
+			worst := -1
+			for _, rec := range r.Recoveries() {
+				if rec.LegitTicks > worst {
+					worst = rec.LegitTicks
+				}
+			}
+			return float64(worst)
+		}},
+	{"stormUnsafeTicks", "worst unsafe ticks over bursts", metricStorm,
+		func(r *scenario.Run) float64 {
+			var worst int64
+			for _, rec := range r.Recoveries() {
+				if rec.UnsafeTicks > worst {
+					worst = rec.UnsafeTicks
+				}
+			}
+			return float64(worst)
+		}},
+	{"preGrantsPerTick", "mean pre-burst throughput over bursts", metricStorm,
+		func(r *scenario.Run) float64 {
+			recs := r.Recoveries()
+			if len(recs) == 0 {
+				return 0
+			}
+			sum := 0.0
+			for _, rec := range recs {
+				sum += rec.Pre.GrantsPerTick
+			}
+			return sum / float64(len(recs))
+		}},
+	{"postLatP95", "worst post-burst p95 grant latency over bursts", metricStorm,
+		func(r *scenario.Run) float64 {
+			worst := 0.0
+			for _, rec := range r.Recoveries() {
+				if rec.Post.LatP95 > worst {
+					worst = rec.Post.LatP95
+				}
+			}
+			return worst
+		}},
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MetricNames returns the metric registry names in presentation order.
+func MetricNames() []string {
+	out := make([]string, len(metricRegistry))
+	for i, e := range metricRegistry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// MetricDocs renders the metric catalogue, one line per metric.
+func MetricDocs() string {
+	var b strings.Builder
+	for _, e := range metricRegistry {
+		kind := ""
+		switch e.kind {
+		case metricLegit:
+			kind = " (needs a legitimacy predicate)"
+		case metricService:
+			kind = " (needs a workload)"
+		case metricStorm:
+			kind = " (needs a storm)"
+		}
+		fmt.Fprintf(&b, "  %-18s %s%s\n", e.name, e.desc, kind)
+	}
+	return b.String()
+}
+
+func metricLookup(name string) (*metricEntry, error) {
+	for i := range metricRegistry {
+		if strings.EqualFold(metricRegistry[i].name, name) {
+			return &metricRegistry[i], nil
+		}
+	}
+	return nil, fmt.Errorf("campaign: unknown metric %q (choose from: %s)", name, strings.Join(MetricNames(), ", "))
+}
+
+// resolvedMetrics resolves the campaign's metric list against the shape of
+// a resolved cell scenario: explicit metrics win; the defaults are the
+// standard columns for storm, service and protocol runs respectively.
+func (c *Campaign) resolvedMetrics(sc *scenario.Scenario) []string {
+	if len(c.Metrics) > 0 {
+		return c.Metrics
+	}
+	switch {
+	case sc.Storm != nil:
+		return []string{"resumed", "stallTicks", "legitTicks", "stormUnsafeTicks", "preGrantsPerTick", "postLatP95"}
+	case sc.Workload != nil:
+		return []string{"grants", "grantsPerTick", "latP95", "jainClients", "unsafeTicks"}
+	default:
+		return []string{"steps", "moves", "rounds"}
+	}
+}
+
+// checkMetrics validates the metric list against a cell's run shape.
+func checkMetrics(names []string, sc *scenario.Scenario) ([]*metricEntry, error) {
+	out := make([]*metricEntry, len(names))
+	for i, name := range names {
+		e, err := metricLookup(name)
+		if err != nil {
+			return nil, err
+		}
+		switch e.kind {
+		case metricService:
+			if sc.Workload == nil {
+				return nil, fmt.Errorf("campaign: metric %q needs a workload, the base scenario has none", e.name)
+			}
+		case metricStorm:
+			if sc.Storm == nil {
+				return nil, fmt.Errorf("campaign: metric %q needs a storm, the base scenario has none", e.name)
+			}
+		}
+		out[i] = e
+	}
+	return out, nil
+}

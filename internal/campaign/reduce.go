@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"specstab/internal/stats"
+)
+
+// Reduction of trial samples into table columns. Every reducer maps the
+// per-trial sample vector of one metric to a single float; the column
+// grid is metric-major (m1 r1, m1 r2, …, m2 r1, …) so adding a reducer
+// never reorders existing columns — the stable column order streamed CSV
+// consumers rely on.
+
+type reducerEntry struct {
+	name string
+	desc string
+	fn   func(xs []float64) float64
+}
+
+var reducerRegistry = []reducerEntry{
+	{"worst", "maximum over trials (the adversarial reading)", func(xs []float64) float64 { return maxOf(xs) }},
+	{"mean", "arithmetic mean over trials", meanOf},
+	{"min", "minimum over trials", func(xs []float64) float64 { return minOf(xs) }},
+	{"max", "maximum over trials", func(xs []float64) float64 { return maxOf(xs) }},
+	{"p50", "median over trials", func(xs []float64) float64 { return percentileOf(xs, 0.50) }},
+	{"p95", "95th percentile over trials", func(xs []float64) float64 { return percentileOf(xs, 0.95) }},
+	{"sum", "sum over trials", func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}},
+	{"ci95", "half-width of the 95% normal confidence interval of the mean", func(xs []float64) float64 {
+		if len(xs) < 2 {
+			return 0
+		}
+		s, err := stats.Summarize(xs)
+		if err != nil {
+			return 0
+		}
+		return 1.96 * s.StdDev / math.Sqrt(float64(len(xs)))
+	}},
+	{"sd", "standard deviation over trials", func(xs []float64) float64 {
+		s, err := stats.Summarize(xs)
+		if err != nil {
+			return 0
+		}
+		return s.StdDev
+	}},
+}
+
+// ReduceNames returns the reducer registry names in presentation order.
+func ReduceNames() []string {
+	out := make([]string, len(reducerRegistry))
+	for i, e := range reducerRegistry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// ReduceDocs renders the reducer catalogue, one line per reducer.
+func ReduceDocs() string {
+	var b strings.Builder
+	for _, e := range reducerRegistry {
+		fmt.Fprintf(&b, "  %-6s %s\n", e.name, e.desc)
+	}
+	return b.String()
+}
+
+func reducerLookup(name string) (*reducerEntry, error) {
+	for i := range reducerRegistry {
+		if strings.EqualFold(reducerRegistry[i].name, name) {
+			return &reducerRegistry[i], nil
+		}
+	}
+	return nil, fmt.Errorf("campaign: unknown reduce statistic %q (choose from: %s)", name, strings.Join(ReduceNames(), ", "))
+}
+
+// resolvedReduce resolves the campaign's reducer list (default: worst).
+func (c *Campaign) resolvedReduce() []string {
+	if len(c.Reduce) > 0 {
+		return c.Reduce
+	}
+	return []string{"worst"}
+}
+
+func maxOf(xs []float64) float64 {
+	out := math.Inf(-1)
+	for _, x := range xs {
+		if x > out {
+			out = x
+		}
+	}
+	if math.IsInf(out, -1) {
+		return 0
+	}
+	return out
+}
+
+func minOf(xs []float64) float64 {
+	out := math.Inf(1)
+	for _, x := range xs {
+		if x < out {
+			out = x
+		}
+	}
+	if math.IsInf(out, 1) {
+		return 0
+	}
+	return out
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func percentileOf(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return stats.Percentile(sorted, p)
+}

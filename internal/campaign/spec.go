@@ -1,0 +1,323 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"specstab/internal/scenario"
+)
+
+// Campaign is one declarative sweep specification: a base scenario, axes
+// over its fields, a trial count and an aggregation spec. Campaigns are
+// plain data and round-trip through JSON, so a whole evaluation grid — the
+// paper's daemon × topology × intensity tables — is a shareable file
+// (`specbench -campaign file.json`) instead of a bespoke Go loop.
+type Campaign struct {
+	// Name labels the campaign in reports and files.
+	Name string `json:"name,omitempty"`
+	// Doc is a free-form description rendered above the result table.
+	Doc string `json:"doc,omitempty"`
+	// Base is the scenario every cell starts from; axes patch fields of
+	// it. It must be valid on its own (it is cell 0 of a grid whose axes
+	// all pick their first value).
+	Base scenario.Scenario `json:"base"`
+	// Axes are the grid dimensions, expanded as a cartesian product in
+	// declaration order with the last axis varying fastest (the nested
+	// loop convention of the experiment harness).
+	Axes []Axis `json:"axes,omitempty"`
+	// Trials replicates every cell over seeded trials (default 1). Trial
+	// t of a cell runs the cell's scenario with seed + t·seedStride.
+	Trials int `json:"trials,omitempty"`
+	// SeedStride separates trial seeds (default 7919).
+	SeedStride int64 `json:"seedStride,omitempty"`
+	// Metrics names the per-trial measurements (see MetricNames); empty
+	// selects the defaults for the run kind: storm, service or protocol.
+	Metrics []string `json:"metrics,omitempty"`
+	// Reduce names the statistics folding trials into columns (see
+	// ReduceNames); empty means ["worst"]. Columns appear metric-major in
+	// spec order: m1 r1, m1 r2, …, m2 r1, … — the stable column order.
+	Reduce []string `json:"reduce,omitempty"`
+	// Fit, when present, fits metric ≈ c·axis^k per group of the
+	// remaining axes and reports the exponents as table notes — the
+	// speculation-curve reading of a grid.
+	Fit *FitSpec `json:"fit,omitempty"`
+}
+
+// Axis is one grid dimension. Exactly one of Values, Points or Range must
+// be set; Values and Range additionally need Field.
+type Axis struct {
+	// Name is the column header (default: Field, or the first Set path).
+	Name string `json:"name,omitempty"`
+	// Field is the dot path of the scenario field scalar values patch,
+	// e.g. "topology.n", "daemon.name", "storm.corrupt", "protocol.k".
+	Field string `json:"field,omitempty"`
+	// Values is the scalar form: one cell slice per value.
+	Values []any `json:"values,omitempty"`
+	// Points is the general form: each point patches any number of
+	// fields at once — the linked-axis case (a ring sweep that must keep
+	// protocol.k = topology.n, a storm horizon tied to the lock).
+	Points []Point `json:"points,omitempty"`
+	// Range generates integer values From..To inclusive: arithmetic with
+	// Step (default 1), or geometric with Factor when Factor ≥ 2.
+	Range *Range `json:"range,omitempty"`
+}
+
+// Point is one labeled position on an axis: a set of field patches.
+type Point struct {
+	// Label is the cell's rendering in the axis column (default: the
+	// first patch value).
+	Label string `json:"label,omitempty"`
+	// Set maps scenario field dot paths to values.
+	Set map[string]any `json:"set"`
+}
+
+// Range generates an integer axis.
+type Range struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Step is the arithmetic increment (default 1; exclusive with
+	// Factor).
+	Step int `json:"step,omitempty"`
+	// Factor ≥ 2 makes the range geometric: From, From·Factor, … ≤ To.
+	Factor int `json:"factor,omitempty"`
+}
+
+// FitSpec requests a power-law fit over one numeric axis.
+type FitSpec struct {
+	// Axis names the numeric axis supplying x.
+	Axis string `json:"axis"`
+	// Metric names the fitted metric (y is its first reduce column).
+	Metric string `json:"metric"`
+}
+
+// Encode writes c as indented JSON.
+func (c *Campaign) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Parse decodes one campaign from JSON, rejecting unknown fields so typos
+// in hand-written files fail loudly.
+func Parse(r io.Reader) (*Campaign, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	c := &Campaign{}
+	if err := dec.Decode(c); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return c, nil
+}
+
+// Load reads and parses a campaign file.
+func Load(path string) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	c, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// trials resolves the replication count.
+func (c *Campaign) trials() int {
+	if c.Trials <= 0 {
+		return 1
+	}
+	return c.Trials
+}
+
+// seedStride resolves the trial seed separation.
+func (c *Campaign) seedStride() int64 {
+	if c.SeedStride == 0 {
+		return 7919
+	}
+	return c.SeedStride
+}
+
+// points normalizes an axis to its point list.
+func (a *Axis) points(i int) ([]Point, error) {
+	set := 0
+	if len(a.Values) > 0 {
+		set++
+	}
+	if len(a.Points) > 0 {
+		set++
+	}
+	if a.Range != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("campaign: axis %s must set exactly one of values, points, range", a.label(i))
+	}
+	if len(a.Points) > 0 {
+		for _, p := range a.Points {
+			if len(p.Set) == 0 {
+				return nil, fmt.Errorf("campaign: axis %s has a point with an empty set", a.label(i))
+			}
+		}
+		return a.Points, nil
+	}
+	if a.Field == "" {
+		return nil, fmt.Errorf("campaign: axis %s needs field with values/range", a.label(i))
+	}
+	var vals []any
+	if a.Range != nil {
+		r := *a.Range
+		switch {
+		case r.Step != 0 && r.Factor != 0:
+			return nil, fmt.Errorf("campaign: axis %s sets both step and factor", a.label(i))
+		case r.Factor >= 2:
+			if r.From < 1 {
+				return nil, fmt.Errorf("campaign: axis %s needs from ≥ 1 with factor, got %d", a.label(i), r.From)
+			}
+			for v := r.From; v <= r.To; v *= r.Factor {
+				vals = append(vals, v)
+			}
+		case r.Factor != 0:
+			return nil, fmt.Errorf("campaign: axis %s needs factor ≥ 2, got %d", a.label(i), r.Factor)
+		default:
+			step := r.Step
+			if step <= 0 {
+				step = 1
+			}
+			for v := r.From; v <= r.To; v += step {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("campaign: axis %s range %d..%d is empty", a.label(i), r.From, r.To)
+		}
+	} else {
+		vals = a.Values
+	}
+	pts := make([]Point, len(vals))
+	for j, v := range vals {
+		pts[j] = Point{Label: fmt.Sprint(v), Set: map[string]any{a.Field: v}}
+	}
+	return pts, nil
+}
+
+// label names an axis in errors and column headers.
+func (a *Axis) label(i int) string {
+	if a.Name != "" {
+		return a.Name
+	}
+	if a.Field != "" {
+		return a.Field
+	}
+	if len(a.Points) > 0 {
+		for _, path := range sortedPaths(a.Points[0].Set) {
+			return path
+		}
+	}
+	return fmt.Sprintf("axis%d", i+1)
+}
+
+// pointLabel names one axis position.
+func pointLabel(p Point) string {
+	if p.Label != "" {
+		return p.Label
+	}
+	paths := sortedPaths(p.Set)
+	if len(paths) == 0 {
+		return "?"
+	}
+	return fmt.Sprint(p.Set[paths[0]])
+}
+
+// sortedPaths returns the patch paths of a point in lexical order, so
+// labels and fingerprints never depend on map iteration order.
+func sortedPaths(set map[string]any) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// baseTree renders the base scenario as a JSON object tree, computed once
+// per grid expansion (patching then deep-copies it per cell instead of
+// re-marshaling the base thousands of times).
+func baseTree(base *scenario.Scenario) (map[string]any, error) {
+	raw, err := json.Marshal(base)
+	if err != nil {
+		return nil, err
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// patchScenario applies dot-path patches to a copy of the base tree and
+// re-decodes it strictly, so an unknown or ill-typed path fails with the
+// JSON decoder's precise complaint instead of silently running defaults.
+func patchScenario(base map[string]any, patches []map[string]any) (*scenario.Scenario, error) {
+	tree := deepCopy(base).(map[string]any)
+	for _, set := range patches {
+		for _, path := range sortedPaths(set) {
+			if err := setPath(tree, path, set[path]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	patched, err := json.Marshal(tree)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Parse(bytes.NewReader(patched))
+}
+
+// deepCopy clones a JSON object tree (maps and slices; scalars are
+// immutable and shared).
+func deepCopy(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, val := range t {
+			out[k] = deepCopy(val)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, val := range t {
+			out[i] = deepCopy(val)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// setPath writes value at a dot path, creating intermediate objects.
+func setPath(tree map[string]any, path string, value any) error {
+	parts := strings.Split(path, ".")
+	cur := tree
+	for _, part := range parts[:len(parts)-1] {
+		next, okNode := cur[part]
+		if !okNode || next == nil {
+			child := map[string]any{}
+			cur[part] = child
+			cur = child
+			continue
+		}
+		child, okMap := next.(map[string]any)
+		if !okMap {
+			return fmt.Errorf("campaign: path %q descends into non-object field %q", path, part)
+		}
+		cur = child
+	}
+	cur[parts[len(parts)-1]] = value
+	return nil
+}

@@ -40,7 +40,7 @@ func TestLemma1PrivilegedVertexOnlyFiredNA(t *testing.T) {
 		e := sim.MustEngine[int](p, daemon.NewSynchronous[int](), initial, 1)
 		// firedNonNA[v] = v executed CA or RA at some step ≤ current.
 		firedNonNA := make([]bool, g.N())
-		e.SetHook(func(info sim.StepInfo) {
+		e.AddHook(func(info sim.StepInfo) {
 			for j, v := range info.Activated {
 				if info.Rules[j] != unison.RuleNA {
 					firedNonNA[v] = true

@@ -101,7 +101,7 @@ func TestLookaheadDeterministicPerSeed(t *testing.T) {
 		rng := rand.New(rand.NewSource(9))
 		e := sim.MustEngine[int](u, d, sim.RandomConfig[int](u, rng), 9)
 		var log []string
-		e.SetHook(func(info sim.StepInfo) {
+		e.AddHook(func(info sim.StepInfo) {
 			log = append(log, fmt.Sprint(info.Activated, info.Rules))
 		})
 		if _, err := e.Run(80, nil); err != nil {

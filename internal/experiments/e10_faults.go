@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"specstab/internal/campaign"
 	"specstab/internal/core"
 	"specstab/internal/daemon"
 	"specstab/internal/faults"
@@ -16,12 +17,26 @@ import (
 // probabilistic distributed one. Every burst must be followed by autonomous
 // re-stabilization (convergence), after which safety must hold until the
 // next burst (closure) — Theorem 1, stress-tested.
+//
+// The grid is topology × daemon; each trial owns an rng (salted by trial
+// index), so whole storm scenarios fan out and recoveries fold in grid
+// order.
 func E10FaultStorm(cfg RunConfig) ([]*stats.Table, error) {
 	trials := cfg.pick(2, 5)
 	table := stats.NewTable(
 		"E10 — fault storms: re-stabilization after repeated transient bursts (worst over trials)",
 		"graph", "daemon", "bursts", "recovered", "worst steps", "worst moves", "closure",
 	)
+
+	type cell struct {
+		p      *core.Protocol
+		gname  string
+		dname  string
+		mk     func() sim.Daemon[int]
+		bursts []faults.Burst
+		horiz  int
+	}
+	var cells []cell
 	for _, g := range zoo(cfg) {
 		p, err := core.New(g)
 		if err != nil {
@@ -42,23 +57,29 @@ func E10FaultStorm(cfg RunConfig) ([]*stats.Table, error) {
 			{"ud/distributed-p0.50", func() sim.Daemon[int] { return daemon.NewDistributed[int](0.5) }, p.UnfairBoundMoves()},
 		}
 		for _, sc := range scenarios {
+			cells = append(cells, cell{p: p, gname: g.Name(), dname: sc.name, mk: sc.mk, bursts: bursts, horiz: sc.horizon})
+		}
+	}
+
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(cell) int { return trials },
+		func(c cell, trial int) ([]faults.Recovery, error) {
 			scenario := faults.Scenario[int]{
-				Protocol:     p,
-				NewDaemon:    sc.mk,
-				Legit:        p.Legitimate,
-				Safe:         p.SafeME,
-				HorizonSteps: sc.horizon,
+				Protocol:     c.p,
+				NewDaemon:    c.mk,
+				Legit:        c.p.Legitimate,
+				Safe:         c.p.SafeME,
+				HorizonSteps: c.horiz,
 			}
-			// Each trial owns an rng (salted by trial index), so whole
-			// scenario runs fan out; recoveries fold in trial order.
-			trialRecs, err := forTrials(cfg, trials, func(trial int) ([]faults.Recovery, error) {
-				rng := cfg.rng(int64(19*g.N() + trial))
-				initial := sim.RandomConfig[int](p, rng)
-				return scenario.Run(initial, bursts, int64(trial+1))
-			})
+			rng := cfg.rng(int64(19*c.p.Graph().N() + trial))
+			initial := sim.RandomConfig[int](c.p, rng)
+			recs, err := scenario.Run(initial, c.bursts, int64(trial+1))
 			if err != nil {
-				return nil, fmt.Errorf("e10 on %s: %w", g.Name(), err)
+				return nil, fmt.Errorf("e10 on %s: %w", c.gname, err)
 			}
+			return recs, nil
+		},
+		func(c cell, trialRecs [][]faults.Recovery) error {
 			recovered := 0
 			total := 0
 			worstSteps, worstMoves := 0, 0
@@ -76,11 +97,13 @@ func E10FaultStorm(cfg RunConfig) ([]*stats.Table, error) {
 					worstMoves = maxInt(worstMoves, rec.MovesToLegit)
 				}
 			}
-
-			table.AddRow(g.Name(), sc.name, total,
+			table.AddRow(c.gname, c.dname, total,
 				fmt.Sprintf("%d/%d", recovered, total),
 				worstSteps, worstMoves, ok(closureOK && recovered == total))
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	table.AddNote("bursts corrupt 1, n/2 or all n registers; recovery is autonomous — no external reset exists in the model")
 	return []*stats.Table{table}, nil

@@ -29,8 +29,8 @@ import (
 // reduction factor and wall-clock. On sparse schedules (central daemon,
 // ring) the reduction is ~N/(Δ·deg): three orders of magnitude at N = 100k.
 //
-// The measurement loop is deliberately sequential — parallel trials would
-// contend for cores and skew the wall-clock columns.
+// The grids run on the single-worker pool (seqPool) on purpose — parallel
+// cells would contend for cores and skew the wall-clock columns.
 func E12Scaling(cfg RunConfig) ([]*stats.Table, error) {
 	steps := cfg.pick(300, 2000)
 	ringSizes := []int{1024, 4096}
@@ -75,6 +75,7 @@ func E12Scaling(cfg RunConfig) ([]*stats.Table, error) {
 		}})
 	}
 
+	var rows []rowsCell
 	for _, c := range cells {
 		pr, err := c.build()
 		if err != nil {
@@ -87,15 +88,21 @@ func E12Scaling(cfg RunConfig) ([]*stats.Table, error) {
 			{"cd/random", func() sim.Daemon[int] { return daemon.NewRandomCentral[int]() }},
 			{"ud/distributed-p0.01", func() sim.Daemon[int] { return daemon.NewDistributed[int](0.01) }},
 		} {
-			row, err := measureScalingCell(cfg, pr.p, dm.mk, c.n, steps)
-			if err != nil {
-				return nil, fmt.Errorf("e12 %s-%d under %s: %w", c.gname, c.n, dm.name, err)
-			}
-			table.AddRow(fmt.Sprintf("%s-%d", c.gname, c.n), c.n, dm.name, row.steps,
-				fmt.Sprintf("%.1f", row.evalsIncr), fmt.Sprintf("%.1f", row.evalsFull),
-				fmt.Sprintf("%.0f", row.evalsFull/row.evalsIncr),
-				row.incrMS, row.fullMS, ok(row.consistent))
+			c, dm := c, dm
+			rows = append(rows, rowsCell{run: func() ([][]any, error) {
+				row, err := measureScalingCell(cfg, pr.p, dm.mk, c.n, steps)
+				if err != nil {
+					return nil, fmt.Errorf("e12 %s-%d under %s: %w", c.gname, c.n, dm.name, err)
+				}
+				return [][]any{{fmt.Sprintf("%s-%d", c.gname, c.n), c.n, dm.name, row.steps,
+					fmt.Sprintf("%.1f", row.evalsIncr), fmt.Sprintf("%.1f", row.evalsFull),
+					fmt.Sprintf("%.0f", row.evalsFull/row.evalsIncr),
+					row.incrMS, row.fullMS, ok(row.consistent)}}, nil
+			}})
 		}
+	}
+	if err := runRows(seqPool(), table, rows); err != nil {
+		return nil, err
 	}
 	table.AddNote("executions are identical by construction (differential tests); the acceptance bar is ≥5× fewer guard evals on the 4096-ring under cd — measured ~10³×")
 	table.AddNote("wall-clock columns vary between runs; every other column is deterministic for a fixed seed")
@@ -129,56 +136,68 @@ func e12CompositionTable(cfg RunConfig) (*stats.Table, error) {
 		sizes = []int{4096, 8192, 16384}
 		genSteps, flatSteps = 5, 100
 	}
+	var rows []rowsCell
 	for _, n := range sizes {
-		g := graph.Ring(n)
-		uni, err := unison.New(g, unison.SafeParams(g))
-		if err != nil {
-			return nil, err
-		}
-		prod, err := compose.New[int, int](uni, bfstree.MustNew(g, 0))
-		if err != nil {
-			return nil, err
-		}
-		rng := cfg.rng(int64(47 * n))
-		initial := sim.RandomConfig[compose.Pair[int, int]](prod, rng)
-		seed := cfg.seed() + int64(n)
-
-		gen, err := scenario.NewEngine[compose.Pair[int, int]](
-			scenario.EngineSpec{Backend: "generic", Workers: 1}, prod,
-			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
-		if err != nil {
-			return nil, err
-		}
-		flat, err := scenario.NewEngine[compose.Pair[int, int]](
-			scenario.EngineSpec{Backend: "flat", Workers: 1}, prod,
-			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
-		if err != nil {
-			return nil, err
-		}
-		dg, genNS, _, err := timedRun(gen, genSteps)
-		if err != nil {
-			return nil, err
-		}
-		df, flatNS, _, err := timedRun(flat, flatSteps)
-		if err != nil {
-			return nil, err
-		}
-		// The executions are identical step for step; cross-check on the
-		// shared prefix by replaying the flat engine's first dg steps.
-		check, err := scenario.NewEngine[compose.Pair[int, int]](
-			scenario.EngineSpec{Backend: "flat", Workers: 1}, prod,
-			daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := check.Run(dg, nil); err != nil {
-			return nil, err
-		}
-		table.AddRow(n, dg, df, genNS, flatNS,
-			fmt.Sprintf("%.0f", ratio(genNS, flatNS)), ok(check.Current().Equal(gen.Current())))
+		n := n
+		rows = append(rows, rowsCell{run: func() ([][]any, error) {
+			return e12CompositionRow(cfg, n, genSteps, flatSteps)
+		}})
+	}
+	if err := runRows(seqPool(), table, rows); err != nil {
+		return nil, err
 	}
 	table.AddNote("generic compositions copy both component projections per guard (O(N²)/sync step); the flat product is projection-free via stride/base offsets")
 	return table, nil
+}
+
+// e12CompositionRow measures one composition size.
+func e12CompositionRow(cfg RunConfig, n, genSteps, flatSteps int) ([][]any, error) {
+	g := graph.Ring(n)
+	uni, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		return nil, err
+	}
+	prod, err := compose.New[int, int](uni, bfstree.MustNew(g, 0))
+	if err != nil {
+		return nil, err
+	}
+	rng := cfg.rng(int64(47 * n))
+	initial := sim.RandomConfig[compose.Pair[int, int]](prod, rng)
+	seed := cfg.seed() + int64(n)
+
+	gen, err := scenario.NewEngine[compose.Pair[int, int]](
+		scenario.EngineSpec{Backend: "generic", Workers: 1}, prod,
+		daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := scenario.NewEngine[compose.Pair[int, int]](
+		scenario.EngineSpec{Backend: "flat", Workers: 1}, prod,
+		daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
+	if err != nil {
+		return nil, err
+	}
+	dg, genNS, _, err := timedRun(gen, genSteps)
+	if err != nil {
+		return nil, err
+	}
+	df, flatNS, _, err := timedRun(flat, flatSteps)
+	if err != nil {
+		return nil, err
+	}
+	// The executions are identical step for step; cross-check on the
+	// shared prefix by replaying the flat engine's first dg steps.
+	check, err := scenario.NewEngine[compose.Pair[int, int]](
+		scenario.EngineSpec{Backend: "flat", Workers: 1}, prod,
+		daemon.NewSynchronous[compose.Pair[int, int]](), initial, seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := check.Run(dg, nil); err != nil {
+		return nil, err
+	}
+	return [][]any{{n, dg, df, genNS, flatNS,
+		fmt.Sprintf("%.0f", ratio(genNS, flatNS)), ok(check.Current().Equal(gen.Current()))}}, nil
 }
 
 // e12BackendTable is the flat-backend extension of E12: the same seeded
@@ -232,19 +251,26 @@ func e12BackendTable(cfg RunConfig) (*stats.Table, error) {
 		}})
 	}
 
+	var rows []rowsCell
 	for _, c := range cells {
 		pr, err := c.build()
 		if err != nil {
 			return nil, err
 		}
-		row, err := measureBackendCell(cfg, pr.p, c.n, steps)
-		if err != nil {
-			return nil, fmt.Errorf("e12b %s-%d: %w", c.gname, c.n, err)
-		}
-		table.AddRow(fmt.Sprintf("%s-%d", c.gname, c.n), c.n, row.steps,
-			row.genNS, row.flatNS, fmt.Sprintf("%.1f", ratio(row.genNS, row.flatNS)),
-			row.flatParNS, fmt.Sprintf("%.1f", ratio(row.genNS, row.flatParNS)),
-			fmt.Sprintf("%.1f", row.genAllocs), fmt.Sprintf("%.1f", row.flatAllocs), ok(row.consistent))
+		c := c
+		rows = append(rows, rowsCell{run: func() ([][]any, error) {
+			row, err := measureBackendCell(cfg, pr.p, c.n, steps)
+			if err != nil {
+				return nil, fmt.Errorf("e12b %s-%d: %w", c.gname, c.n, err)
+			}
+			return [][]any{{fmt.Sprintf("%s-%d", c.gname, c.n), c.n, row.steps,
+				row.genNS, row.flatNS, fmt.Sprintf("%.1f", ratio(row.genNS, row.flatNS)),
+				row.flatParNS, fmt.Sprintf("%.1f", ratio(row.genNS, row.flatParNS)),
+				fmt.Sprintf("%.1f", row.genAllocs), fmt.Sprintf("%.1f", row.flatAllocs), ok(row.consistent)}}, nil
+		}})
+	}
+	if err := runRows(seqPool(), table, rows); err != nil {
+		return nil, err
 	}
 	table.AddNote("both backends replay the identical execution (differential tests); sequential engines isolate the representation win, flat-par adds shard parallelism")
 	table.AddNote("acceptance bar: ≥3× ns/step for flat over generic on the 65536-ring under sd; timing columns vary between runs")

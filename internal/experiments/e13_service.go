@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 
+	"specstab/internal/campaign"
 	"specstab/internal/core"
 	"specstab/internal/daemon"
 	"specstab/internal/dijkstra"
 	"specstab/internal/graph"
 	"specstab/internal/lexclusion"
+	"specstab/internal/scenario"
 	"specstab/internal/service"
 	"specstab/internal/sim"
 	"specstab/internal/speculation"
@@ -35,6 +37,12 @@ import (
 //     speculative gap surviving at the service boundary.
 //   - E13c: pre/post-fault grant-latency CDFs for one representative
 //     cell, the service-level shape of recovery.
+//
+// E13a and E13b are storm-cell grids: every cell is a declarative
+// scenario.Scenario value (the same shape `locksim -scenario` and the
+// campaign layer execute — examples/campaigns/e13a-storm.json is this
+// exact grid as a user-editable file), and the extractors only fold
+// recoveries into rows.
 func E13Service(cfg RunConfig) ([]*stats.Table, error) {
 	curves, err := e13CurvesTable(cfg)
 	if err != nil {
@@ -51,96 +59,112 @@ func E13Service(cfg RunConfig) ([]*stats.Table, error) {
 	return []*stats.Table{curves, spec, cdf}, nil
 }
 
-// e13Cell is one lock instance under storm.
-type e13Cell struct {
-	name     string
-	lock     service.Lock
-	initial  sim.Config[int]
-	capacity int
-	warm     int
-	horizon  int
+// stormCell is one declarative storm cell: a scenario plus the trial-seed
+// rule its table inherited from the pre-campaign harness.
+type stormCell struct {
+	lockName   string
+	daemonName string
+	corrupt    int
+	sc         scenario.Scenario
+	seedOf     func(trial int) int64
 }
 
-// e13Cells builds the lock zoo: SSME on rings and a grid, Dijkstra's
-// token ring, and ℓ-exclusion with capacity ℓ.
-func e13Cells(cfg RunConfig) ([]e13Cell, error) {
-	var cells []e13Cell
-	ssme := func(g *graph.Graph) error {
+// stormOutcome is one executed storm trial.
+type stormOutcome struct {
+	recs []service.Recovery
+	m    service.Metrics
+}
+
+// runStormCell executes one seeded trial of a storm cell through the
+// scenario layer (the engine-spec chokepoint included).
+func runStormCell(cfg RunConfig, c stormCell, trial int) (stormOutcome, error) {
+	sc := c.sc
+	sc.Seed = c.seedOf(trial)
+	sc.Engine = cfg.engineSpec()
+	r, err := scenario.Build(&sc)
+	if err != nil {
+		return stormOutcome{}, err
+	}
+	if err := r.Execute(); err != nil {
+		return stormOutcome{}, err
+	}
+	return stormOutcome{recs: r.Recoveries(), m: r.Service().Totals()}, nil
+}
+
+// e13Locks builds the lock zoo as scenario fragments: SSME on rings and a
+// grid, Dijkstra's token ring, and ℓ-exclusion with capacity ℓ. Each
+// carries the storm windows its protocol derives (warm ≈ one rotation,
+// horizon ≈ the unfair bound).
+type e13Lock struct {
+	name     string
+	n        int
+	protocol scenario.ProtocolSpec
+	topology scenario.TopologySpec
+	storm    scenario.StormSpec // bursts/corrupt filled per cell
+}
+
+func e13Locks(cfg RunConfig) ([]e13Lock, error) {
+	var locks []e13Lock
+	ssme := func(g *graph.Graph, topo scenario.TopologySpec) error {
 		p, err := core.New(g)
 		if err != nil {
 			return err
 		}
-		cells = append(cells, e13Cell{
-			name: "ssme@" + g.Name(), lock: p, initial: make(sim.Config[int], g.N()),
-			capacity: 1, warm: p.ServiceWindow(), horizon: 4 * p.ServiceWindow(),
+		locks = append(locks, e13Lock{
+			name: "ssme@" + g.Name(), n: g.N(),
+			protocol: scenario.ProtocolSpec{Name: "ssme"},
+			topology: topo,
+			storm:    scenario.StormSpec{HorizonTicks: 4 * p.ServiceWindow()},
 		})
 		return nil
 	}
 	ringN := cfg.pick(8, 16)
-	if err := ssme(graph.Ring(ringN)); err != nil {
+	if err := ssme(graph.Ring(ringN), scenario.TopologySpec{Name: "ring", N: ringN}); err != nil {
 		return nil, err
 	}
-	if err := ssme(graph.Grid(3, cfg.pick(3, 5))); err != nil {
+	gridCols := cfg.pick(3, 5)
+	if err := ssme(graph.Grid(3, gridCols), scenario.TopologySpec{Name: "grid", N: 3 * gridCols}); err != nil {
 		return nil, err
 	}
 	dj, err := dijkstra.New(ringN, ringN)
 	if err != nil {
 		return nil, err
 	}
-	cells = append(cells, e13Cell{
-		name: "dijkstra@" + dj.Graph().Name(), lock: dj, initial: make(sim.Config[int], ringN),
-		capacity: 1, warm: 4 * ringN, horizon: dj.UnfairHorizonMoves(),
+	locks = append(locks, e13Lock{
+		name: "dijkstra@" + dj.Graph().Name(), n: ringN,
+		protocol: scenario.ProtocolSpec{Name: "dijkstra"},
+		topology: scenario.TopologySpec{Name: "ring", N: ringN},
+		storm: scenario.StormSpec{
+			WarmTicks:    4 * ringN,
+			HorizonTicks: dj.UnfairHorizonMoves(),
+			SettleTicks:  2 * ringN,
+		},
 	})
 	lx, err := lexclusion.New(graph.Ring(ringN), 2)
 	if err != nil {
 		return nil, err
 	}
-	lxInit, err := lx.UniformConfig(0)
-	if err != nil {
-		return nil, err
-	}
-	cells = append(cells, e13Cell{
-		name: fmt.Sprintf("lexclusion[ℓ=2]@%s", lx.Graph().Name()), lock: lx, initial: lxInit,
-		capacity: lx.L(), warm: lx.ServiceWindow(), horizon: 4 * lx.ServiceWindow(),
+	locks = append(locks, e13Lock{
+		name: fmt.Sprintf("lexclusion[ℓ=2]@%s", lx.Graph().Name()), n: ringN,
+		protocol: scenario.ProtocolSpec{Name: "lexclusion", L: 2},
+		topology: scenario.TopologySpec{Name: "ring", N: ringN},
+		storm:    scenario.StormSpec{HorizonTicks: 4 * lx.ServiceWindow()},
 	})
-	return cells, nil
+	return locks, nil
 }
 
 // e13Daemons is the daemon spectrum the service rides through.
 func e13Daemons() []struct {
 	name string
-	mk   func() sim.Daemon[int]
+	spec scenario.DaemonSpec
 } {
 	return []struct {
 		name string
-		mk   func() sim.Daemon[int]
+		spec scenario.DaemonSpec
 	}{
-		{"sd", func() sim.Daemon[int] { return daemon.NewSynchronous[int]() }},
-		{"ud/distributed-p0.50", func() sim.Daemon[int] { return daemon.NewDistributed[int](0.5) }},
+		{"sd", scenario.DaemonSpec{Name: "sync"}},
+		{"ud/distributed-p0.50", scenario.DaemonSpec{Name: "distributed", P: 0.5}},
 	}
-}
-
-// e13Storm runs one seeded storm trial for a cell and returns the
-// recoveries.
-func e13Storm(cfg RunConfig, c e13Cell, mk func() sim.Daemon[int], bursts, corrupt int, seed int64) ([]service.Recovery, *service.Sim, error) {
-	opts, err := engineOptions(cfg, c.lock)
-	if err != nil {
-		return nil, nil, err
-	}
-	n := c.lock.N()
-	s, err := service.New(c.lock, mk(), c.initial, seed,
-		service.MustClosedLoop(n, 2*n, 0, 3),
-		service.Options{Capacity: c.capacity, Engine: opts})
-	if err != nil {
-		return nil, nil, err
-	}
-	recs, err := s.Storm(bursts, service.StormOptions{
-		WarmTicks:    c.warm,
-		Corrupt:      corrupt,
-		HorizonTicks: c.horizon,
-		SettleTicks:  c.warm / 2,
-	})
-	return recs, s, err
 }
 
 // e13CurvesTable is E13a: the storm sweep across locks, daemons and
@@ -153,72 +177,91 @@ func e13CurvesTable(cfg RunConfig) (*stats.Table, error) {
 		"lock", "daemon", "corrupt", "resumed", "stall ticks", "legit ticks", "unsafe ticks",
 		"pre grants/tick", "post p95 lat", "jain clients", "safe",
 	)
-	cells, err := e13Cells(cfg)
+	locks, err := e13Locks(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range cells {
-		intensities := []int{c.lock.N()}
+	var cells []stormCell
+	for _, lk := range locks {
+		intensities := []int{lk.n}
 		if !cfg.Quick {
-			intensities = append(intensities, c.lock.N()/2)
+			intensities = append(intensities, lk.n/2)
 		}
 		for _, dm := range e13Daemons() {
 			for _, corrupt := range intensities {
-				type trialOut struct {
-					recs []service.Recovery
-					m    service.Metrics
-				}
-				outs, err := forTrials(cfg, trials, func(trial int) (trialOut, error) {
-					seed := cfg.seed()*1_000_003 + int64(trial)*7919 + int64(corrupt)
-					recs, s, err := e13Storm(cfg, c, dm.mk, bursts, corrupt, seed)
-					if err != nil {
-						return trialOut{}, err
-					}
-					return trialOut{recs: recs, m: s.Totals()}, nil
+				corrupt := corrupt
+				storm := lk.storm
+				storm.Bursts = bursts
+				storm.Corrupt = corrupt
+				cells = append(cells, stormCell{
+					lockName: lk.name, daemonName: dm.name, corrupt: corrupt,
+					sc: scenario.Scenario{
+						Protocol: lk.protocol,
+						Topology: lk.topology,
+						Daemon:   dm.spec,
+						Workload: &scenario.WorkloadSpec{Kind: "closed", ThinkMax: 3},
+						Storm:    &storm,
+					},
+					seedOf: func(trial int) int64 {
+						return cfg.seed()*1_000_003 + int64(trial)*7919 + int64(corrupt)
+					},
 				})
-				if err != nil {
-					return nil, fmt.Errorf("e13a %s under %s: %w", c.name, dm.name, err)
-				}
-				resumed, total := 0, 0
-				worstStall, worstLegit := 0, 0
-				var worstUnsafe int64
-				var preGPT, postP95, jain float64
-				legitKnown := true
-				for _, o := range outs {
-					for _, rec := range o.recs {
-						total++
-						if rec.Resumed {
-							resumed++
-						}
-						worstStall = maxInt(worstStall, rec.StallTicks)
-						if rec.LegitTicks < 0 {
-							legitKnown = false
-						} else {
-							worstLegit = maxInt(worstLegit, rec.LegitTicks)
-						}
-						if rec.UnsafeTicks > worstUnsafe {
-							worstUnsafe = rec.UnsafeTicks
-						}
-						preGPT += rec.Pre.GrantsPerTick
-						if rec.Post.LatP95 > postP95 {
-							postP95 = rec.Post.LatP95
-						}
-					}
-					jain += o.m.JainClients
-				}
-				preGPT /= float64(total)
-				jain /= float64(len(outs))
-				legitStr := fmt.Sprintf("%d", worstLegit)
-				if !legitKnown {
-					legitStr = "—"
-				}
-				table.AddRow(c.name, dm.name, corrupt,
-					fmt.Sprintf("%d/%d", resumed, total),
-					worstStall, legitStr, worstUnsafe,
-					fmt.Sprintf("%.4f", preGPT), postP95,
-					fmt.Sprintf("%.3f", jain), ok(resumed == total))
 			}
 		}
+	}
+
+	err = campaign.Sweep(cfg.pool(), cells,
+		func(stormCell) int { return trials },
+		func(c stormCell, t int) (stormOutcome, error) {
+			out, err := runStormCell(cfg, c, t)
+			if err != nil {
+				return stormOutcome{}, fmt.Errorf("e13a %s under %s: %w", c.lockName, c.daemonName, err)
+			}
+			return out, nil
+		},
+		func(c stormCell, outs []stormOutcome) error {
+			resumed, total := 0, 0
+			worstStall, worstLegit := 0, 0
+			var worstUnsafe int64
+			var preGPT, postP95, jain float64
+			legitKnown := true
+			for _, o := range outs {
+				for _, rec := range o.recs {
+					total++
+					if rec.Resumed {
+						resumed++
+					}
+					worstStall = maxInt(worstStall, rec.StallTicks)
+					if rec.LegitTicks < 0 {
+						legitKnown = false
+					} else {
+						worstLegit = maxInt(worstLegit, rec.LegitTicks)
+					}
+					if rec.UnsafeTicks > worstUnsafe {
+						worstUnsafe = rec.UnsafeTicks
+					}
+					preGPT += rec.Pre.GrantsPerTick
+					if rec.Post.LatP95 > postP95 {
+						postP95 = rec.Post.LatP95
+					}
+				}
+				jain += o.m.JainClients
+			}
+			preGPT /= float64(total)
+			jain /= float64(len(outs))
+			legitStr := fmt.Sprintf("%d", worstLegit)
+			if !legitKnown {
+				legitStr = "—"
+			}
+			table.AddRow(c.lockName, c.daemonName, c.corrupt,
+				fmt.Sprintf("%d/%d", resumed, total),
+				worstStall, legitStr, worstUnsafe,
+				fmt.Sprintf("%.4f", preGPT), postP95,
+				fmt.Sprintf("%.3f", jain), ok(resumed == total))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	table.AddNote("stall = ticks from burst to the next grant (client-observed recovery); legit = ticks to Γ-re-entry (protocol-observed); stall/legit/unsafe are worst over recoveries, pre grants/tick is the mean")
 	table.AddNote("Dijkstra never stalls — some token always exists — but serves unsafely while stabilizing; SSME stalls for roughly a rotation and exposes (almost) no unsafe tick")
@@ -239,52 +282,86 @@ func e13SpeculationTable(cfg RunConfig) (*stats.Table, error) {
 		"n", "stall sd", "legit sd", "stall cd/random", "legit cd/random", "stall ratio cd/sd",
 	)
 	type dpoint struct{ stall, legit int }
-	measure := func(n int, mk func() sim.Daemon[int], horizonScale int) (dpoint, error) {
+
+	// One storm cell per (size, daemon): full corruption, warm and
+	// horizon scaled by the daemon's slowdown. The central daemon slows
+	// every clock advance n-fold, so its warm window still sees a
+	// rotation before the burst.
+	type e13bCell struct {
+		n    int
+		cd   bool // the row's cd half (folded with its sd predecessor)
+		cell stormCell
+	}
+	var cells []e13bCell
+	for _, n := range sizes {
+		n := n
 		p, err := core.New(graph.Ring(n))
 		if err != nil {
-			return dpoint{}, err
+			return nil, err
 		}
-		c := e13Cell{
-			lock: p, initial: make(sim.Config[int], n), capacity: 1,
-			warm:    horizonScale * p.ServiceWindow(),
-			horizon: horizonScale * (p.UnfairBoundMoves() + 2*p.ServiceWindow()),
+		for _, half := range []struct {
+			cd    bool
+			dspec scenario.DaemonSpec
+			scale int
+		}{
+			{false, scenario.DaemonSpec{Name: "sync"}, 1},
+			{true, scenario.DaemonSpec{Name: "central"}, n},
+		} {
+			warm := half.scale * p.ServiceWindow()
+			cells = append(cells, e13bCell{n: n, cd: half.cd, cell: stormCell{
+				sc: scenario.Scenario{
+					Protocol: scenario.ProtocolSpec{Name: "ssme"},
+					Topology: scenario.TopologySpec{Name: "ring", N: n},
+					Daemon:   half.dspec,
+					Workload: &scenario.WorkloadSpec{Kind: "closed", ThinkMax: 3},
+					Storm: &scenario.StormSpec{
+						Bursts:       1,
+						Corrupt:      n,
+						WarmTicks:    warm,
+						HorizonTicks: half.scale * (p.UnfairBoundMoves() + 2*p.ServiceWindow()),
+						SettleTicks:  warm / 2,
+					},
+				},
+				seedOf: func(trial int) int64 {
+					return cfg.seed()*999_983 + int64(31*n+trial)
+				},
+			}})
 		}
-		outs, err := forTrials(cfg, trials, func(trial int) (dpoint, error) {
-			recs, _, err := e13Storm(cfg, c, mk, 1, n, cfg.seed()*999_983+int64(31*n+trial))
-			if err != nil {
-				return dpoint{}, err
-			}
-			if len(recs) != 1 || !recs[0].Resumed {
-				return dpoint{}, fmt.Errorf("stall did not resolve inside the horizon at n=%d", n)
-			}
-			return dpoint{stall: recs[0].StallTicks, legit: recs[0].LegitTicks}, nil
-		})
-		if err != nil {
-			return dpoint{}, err
-		}
-		worst := dpoint{}
-		for _, o := range outs {
-			worst.stall = maxInt(worst.stall, o.stall)
-			worst.legit = maxInt(worst.legit, o.legit)
-		}
-		return worst, nil
 	}
+
 	var strong, weak []service.ServicePoint
-	for _, n := range sizes {
-		sd, err := measure(n, func() sim.Daemon[int] { return daemon.NewSynchronous[int]() }, 1)
-		if err != nil {
-			return nil, fmt.Errorf("e13b sd n=%d: %w", n, err)
-		}
-		// The central daemon slows every clock advance n-fold; scale the
-		// warm window so the pre-fault baseline still sees a rotation.
-		cd, err := measure(n, func() sim.Daemon[int] { return daemon.NewRandomCentral[int]() }, n)
-		if err != nil {
-			return nil, fmt.Errorf("e13b cd n=%d: %w", n, err)
-		}
-		weak = append(weak, service.ServicePoint{Size: n, Stall: float64(sd.stall), Legit: float64(sd.legit)})
-		strong = append(strong, service.ServicePoint{Size: n, Stall: float64(cd.stall), Legit: float64(cd.legit)})
-		table.AddRow(n, sd.stall, sd.legit, cd.stall, cd.legit,
-			fmt.Sprintf("%.1f", float64(cd.stall)/float64(maxInt(sd.stall, 1))))
+	var sd dpoint
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(e13bCell) int { return trials },
+		func(c e13bCell, t int) (dpoint, error) {
+			out, err := runStormCell(cfg, c.cell, t)
+			if err != nil {
+				return dpoint{}, fmt.Errorf("e13b n=%d: %w", c.n, err)
+			}
+			if len(out.recs) != 1 || !out.recs[0].Resumed {
+				return dpoint{}, fmt.Errorf("stall did not resolve inside the horizon at n=%d", c.n)
+			}
+			return dpoint{stall: out.recs[0].StallTicks, legit: out.recs[0].LegitTicks}, nil
+		},
+		func(c e13bCell, outs []dpoint) error {
+			worst := dpoint{}
+			for _, o := range outs {
+				worst.stall = maxInt(worst.stall, o.stall)
+				worst.legit = maxInt(worst.legit, o.legit)
+			}
+			if !c.cd {
+				sd = worst
+				return nil
+			}
+			cd := worst
+			weak = append(weak, service.ServicePoint{Size: c.n, Stall: float64(sd.stall), Legit: float64(sd.legit)})
+			strong = append(strong, service.ServicePoint{Size: c.n, Stall: float64(cd.stall), Legit: float64(cd.legit)})
+			table.AddRow(c.n, sd.stall, sd.legit, cd.stall, cd.legit,
+				fmt.Sprintf("%.1f", float64(cd.stall)/float64(maxInt(sd.stall, 1))))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	cert, err := service.SpeculationCurve(speculation.Claim{
 		Protocol: "SSME/service@ring",
@@ -301,7 +378,9 @@ func e13SpeculationTable(cfg RunConfig) (*stats.Table, error) {
 }
 
 // e13CDFTable is E13c: the latency distribution before and after one
-// full-corruption burst, as quantiles of the grant-latency CDF.
+// full-corruption burst, as quantiles of the grant-latency CDF. The
+// burst interleaving (warm → snapshot → inject → snapshot) has no
+// scenario form, so this single cell drives the service directly.
 func e13CDFTable(cfg RunConfig) (*stats.Table, error) {
 	n := cfg.pick(12, 24)
 	p, err := core.New(graph.Ring(n))

@@ -3,6 +3,7 @@ package experiments
 import (
 	"specstab/internal/clock"
 	"specstab/internal/core"
+	"specstab/internal/graph"
 	"specstab/internal/stats"
 )
 
@@ -10,6 +11,9 @@ import (
 // K = 12, rendered structurally, plus the clock parameters SSME derives for
 // representative topologies (the paper's instantiation α = n,
 // K = (2n−1)(diam+1)+2 and the privilege values it spreads on the ring).
+//
+// E1b is a rows-cell grid over the topology zoo: the O(n²) privilege-gap
+// scan of each graph runs as one parallel cell.
 func E1Clock(cfg RunConfig) ([]*stats.Table, error) {
 	fig := clock.MustNew(5, 12)
 
@@ -31,24 +35,36 @@ func E1Clock(cfg RunConfig) ([]*stats.Table, error) {
 		"E1b — SSME clock parameters per topology (α=n, K=(2n−1)(diam+1)+2)",
 		"graph", "n", "diam", "α", "K", "priv(0)", "priv(n−1)", "min privilege gap",
 	)
+	var cells []rowsCell
 	for _, g := range zoo(cfg) {
-		p, err := core.New(g)
-		if err != nil {
-			return nil, err
-		}
-		x := p.Clock()
-		minGap := x.K
-		for u := 0; u < g.N(); u++ {
-			for v := u + 1; v < g.N(); v++ {
-				if d := x.DK(p.PrivilegeValue(u), p.PrivilegeValue(v)); d < minGap {
-					minGap = d
-				}
-			}
-		}
-		params.AddRow(g.Name(), g.N(), g.Diameter(), x.Alpha, x.K,
-			p.PrivilegeValue(0), p.PrivilegeValue(g.N()-1), minGap)
+		g := g
+		cells = append(cells, rowsCell{run: func() ([][]any, error) {
+			return e1ParamsRow(g)
+		}})
+	}
+	if err := runRows(cfg.pool(), params, cells); err != nil {
+		return nil, err
 	}
 	params.AddNote("safety inside Γ₁ needs every privilege gap > diam; the paper's spacing gives ≥ 2·diam")
 
 	return []*stats.Table{structure, params}, nil
+}
+
+// e1ParamsRow is the per-topology extractor of E1b.
+func e1ParamsRow(g *graph.Graph) ([][]any, error) {
+	p, err := core.New(g)
+	if err != nil {
+		return nil, err
+	}
+	x := p.Clock()
+	minGap := x.K
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if d := x.DK(p.PrivilegeValue(u), p.PrivilegeValue(v)); d < minGap {
+				minGap = d
+			}
+		}
+	}
+	return [][]any{{g.Name(), g.N(), g.Diameter(), x.Alpha, x.K,
+		p.PrivilegeValue(0), p.PrivilegeValue(g.N() - 1), minGap}}, nil
 }

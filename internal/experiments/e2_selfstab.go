@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"specstab/internal/campaign"
 	"specstab/internal/core"
 	"specstab/internal/daemon"
 	"specstab/internal/sim"
@@ -16,12 +17,26 @@ import (
 // arbitrary configuration reaches Γ₁, never violates safety afterwards
 // (closure), and serves every vertex's critical section within a service
 // window once legitimate.
+//
+// The grid is topology × daemon; every trial's initial configuration is
+// drawn at expansion time (the shared-rng contract of the campaign
+// scheduler), the trials fan out, and the extractor folds the worst case
+// per cell.
 func E2SelfStabilization(cfg RunConfig) ([]*stats.Table, error) {
 	trials := cfg.pick(3, 8)
 	table := stats.NewTable(
 		"E2 — Theorem 1: self-stabilization of SSME under ud (worst over trials)",
 		"graph", "daemon", "trials", "conv steps", "conv moves", "Γ₁ steps", "Γ₁ moves", "closure", "liveness",
 	)
+
+	type cell struct {
+		p        *core.Protocol
+		mk       func() sim.Daemon[int]
+		name     string
+		horizon  int
+		initials []sim.Config[int]
+	}
+	var cells []cell
 	for _, g := range zoo(cfg) {
 		p, err := core.New(g)
 		if err != nil {
@@ -36,21 +51,24 @@ func E2SelfStabilization(cfg RunConfig) ([]*stats.Table, error) {
 		horizon := p.UnfairBoundMoves() // every step ≥ 1 move, so a valid step horizon
 		rng := cfg.rng(int64(g.N()))
 		for _, mk := range daemons {
-			name := mk().Name()
 			initials := make([]sim.Config[int], trials)
 			for t := range initials {
 				initials[t] = sim.RandomConfig[int](p, rng)
 			}
-			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
-				e, err := newEngine[int](cfg, p, mk(), initials[t], int64(t+1))
-				if err != nil {
-					return runOutcome{}, err
-				}
-				return measureRun(e, horizon, p.Clock().K, p.SafeME, p.Legitimate)
-			})
+			cells = append(cells, cell{p: p, mk: mk, name: mk().Name(), horizon: horizon, initials: initials})
+		}
+	}
+
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(cell) int { return trials },
+		func(c cell, t int) (runOutcome, error) {
+			e, err := newEngine[int](cfg, c.p, c.mk(), c.initials[t], int64(t+1))
 			if err != nil {
-				return nil, err
+				return runOutcome{}, err
 			}
+			return measureRun(e, c.horizon, c.p.Clock().K, c.p.SafeME, c.p.Legitimate)
+		},
+		func(c cell, outs []runOutcome) error {
 			var worst runOutcome
 			closureOK := true
 			allLegit := true
@@ -72,25 +90,28 @@ func E2SelfStabilization(cfg RunConfig) ([]*stats.Table, error) {
 			// as "every clock keeps advancing" by the Γ₁ tail above, so
 			// report the service check once per graph (first daemon row).
 			liveness := "-"
-			if name == "cd/random" {
-				initial, err := p.UniformConfig(0)
+			if c.name == "cd/random" {
+				initial, err := c.p.UniformConfig(0)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				e, err := newEngine[int](cfg, p, daemon.NewRandomCentral[int](), initial, 99)
+				e, err := newEngine[int](cfg, c.p, daemon.NewRandomCentral[int](), initial, 99)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				svc, err := p.MeasureService(e, 3*p.ServiceWindow())
+				svc, err := c.p.MeasureService(e, 3*c.p.ServiceWindow())
 				if err != nil {
-					return nil, err
+					return err
 				}
 				liveness = fmt.Sprintf("served=%v concurrent=%d", svc.AllServed, svc.ConcurrentCS)
 			}
-			table.AddRow(g.Name(), name, trials,
+			table.AddRow(c.p.Graph().Name(), c.name, trials,
 				worst.convSteps, worst.convMoves, worst.legitSteps, worst.legitMoves,
 				ok(closureOK && allLegit), liveness)
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	table.AddNote("closure=ok means no safety violation was ever observed at or after Γ₁ membership")
 	return []*stats.Table{table}, nil

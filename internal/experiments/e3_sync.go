@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"specstab/internal/campaign"
 	"specstab/internal/core"
 	"specstab/internal/sim"
 	"specstab/internal/stats"
@@ -12,60 +13,73 @@ import (
 // adversarial island configurations of Theorem 4's construction; the bound
 // is met on every topology and attained exactly by the islands (E5 digs
 // into the attainment).
+//
+// The grid is the topology zoo; each cell fans out its random trials and
+// its island replays together (islands are the trailing trial indices) and
+// the extractor folds both worst cases.
 func E3SyncConvergence(cfg RunConfig) ([]*stats.Table, error) {
 	trials := cfg.pick(15, 80)
 	table := stats.NewTable(
 		"E3 — Theorem 2: synchronous stabilization of SSME (worst over trials)",
 		"graph", "n", "diam", "bound ⌈diam/2⌉", "worst random", "worst island", "within bound", "Γ₁ ≤ 2n+diam",
 	)
+
+	type cell struct {
+		p        *core.Protocol
+		initials []sim.Config[int]
+		islands  int
+	}
+	var cells []cell
 	for _, g := range zoo(cfg) {
 		p, err := core.New(g)
 		if err != nil {
 			return nil, err
 		}
-		bound := core.SyncBound(g)
 		rng := cfg.rng(int64(2 * g.N()))
-
 		initials := make([]sim.Config[int], trials)
 		for t := range initials {
 			initials[t] = sim.RandomConfig[int](p, rng)
 		}
-		reps, err := forTrials(cfg, trials, func(t int) (sim.RunReport, error) {
-			return p.MeasureSync(initials[t])
-		})
-		if err != nil {
-			return nil, err
-		}
-		worstRandom, worstLegitEntry := 0, 0
-		for _, rep := range reps {
-			if rep.ConvergenceSteps > worstRandom {
-				worstRandom = rep.ConvergenceSteps
-			}
-			if rep.FirstLegitStep > worstLegitEntry {
-				worstLegitEntry = rep.FirstLegitStep
-			}
-		}
+		cells = append(cells, cell{p: p, initials: initials, islands: p.MaxDoublePrivilegeStep() + 1})
+	}
 
-		islandReps, err := forTrials(cfg, p.MaxDoublePrivilegeStep()+1, func(t int) (sim.RunReport, error) {
-			initial, err := p.DoublePrivilegeConfig(t)
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(c cell) int { return trials + c.islands },
+		func(c cell, t int) (sim.RunReport, error) {
+			if t < trials {
+				return c.p.MeasureSync(c.initials[t])
+			}
+			initial, err := c.p.DoublePrivilegeConfig(t - trials)
 			if err != nil {
 				return sim.RunReport{}, err
 			}
-			return p.MeasureSync(initial)
-		})
-		if err != nil {
-			return nil, err
-		}
-		worstIsland := 0
-		for _, rep := range islandReps {
-			if rep.ConvergenceSteps > worstIsland {
-				worstIsland = rep.ConvergenceSteps
+			return c.p.MeasureSync(initial)
+		},
+		func(c cell, reps []sim.RunReport) error {
+			worstRandom, worstLegitEntry := 0, 0
+			for _, rep := range reps[:trials] {
+				if rep.ConvergenceSteps > worstRandom {
+					worstRandom = rep.ConvergenceSteps
+				}
+				if rep.FirstLegitStep > worstLegitEntry {
+					worstLegitEntry = rep.FirstLegitStep
+				}
 			}
-		}
-
-		table.AddRow(g.Name(), g.N(), g.Diameter(), bound, worstRandom, worstIsland,
-			ok(worstRandom <= bound && worstIsland <= bound),
-			ok(worstLegitEntry <= p.SyncUnisonHorizon()))
+			worstIsland := 0
+			for _, rep := range reps[trials:] {
+				if rep.ConvergenceSteps > worstIsland {
+					worstIsland = rep.ConvergenceSteps
+				}
+			}
+			g := c.p.Graph()
+			bound := core.SyncBound(g)
+			table.AddRow(g.Name(), g.N(), g.Diameter(), bound, worstRandom, worstIsland,
+				ok(worstRandom <= bound && worstIsland <= bound),
+				ok(worstLegitEntry <= c.p.SyncUnisonHorizon()))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	table.AddNote("contrast: Dijkstra's ring needs n synchronous steps; SSME needs ⌈diam/2⌉ on any topology")
 	return []*stats.Table{table}, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"specstab/internal/campaign"
 	"specstab/internal/core"
 	"specstab/internal/daemon"
 	"specstab/internal/graph"
@@ -14,6 +15,9 @@ import (
 // bound with α = n). The harness measures the worst moves-to-Γ₁ over
 // adversarial and randomized ud-subsumed daemons on a ring size sweep and
 // reports the bound headroom plus the fitted growth exponent.
+//
+// The grid is ring size × daemon; the extractor folds the worst case
+// across the daemons of each size and emits one row per size.
 func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
 	sizes := []int{6, 9, 12}
 	if !cfg.Quick {
@@ -25,7 +29,17 @@ func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
 		"E4 — Theorem 3: moves to Γ₁ under unfair daemons (rings, worst over daemons×trials)",
 		"n", "diam", "worst moves", "bound 2Dn³+(n+1)n²+(n−2D)n", "headroom ×", "closure",
 	)
-	var xs, ys []float64
+
+	type cell struct {
+		n        int
+		p        *core.Protocol
+		mk       func() sim.Daemon[int]
+		name     string
+		bound    int
+		initials []sim.Config[int]
+		last     bool // final daemon of this size: the extractor emits the row
+	}
+	var cells []cell
 	for _, n := range sizes {
 		g := graph.Ring(n)
 		p, err := core.New(g)
@@ -33,8 +47,6 @@ func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
 			return nil, err
 		}
 		bound := p.UnfairBoundMoves()
-		worst := 0
-		closureOK := true
 		rng := cfg.rng(int64(3 * n))
 		// Daemon factories: greedy/lookahead daemons carry scratch buffers
 		// and each parallel trial needs a private instance.
@@ -45,25 +57,34 @@ func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
 			func() sim.Daemon[int] { return daemon.NewGreedyCentral[int](p, p.DisorderPotential) },
 			func() sim.Daemon[int] { return daemon.NewLookahead[int](p, p.DisorderPotential, 3) },
 		}
-		for _, mk := range daemons {
-			name := mk().Name()
+		for di, mk := range daemons {
 			initials := make([]sim.Config[int], trials)
 			for t := range initials {
 				initials[t] = sim.RandomConfig[int](p, rng)
 			}
-			outs, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
-				e, err := newEngine[int](cfg, p, mk(), initials[t], int64(t+1))
-				if err != nil {
-					return runOutcome{}, err
-				}
-				return measureRun(e, bound, p.Clock().K, p.SafeME, p.Legitimate)
+			cells = append(cells, cell{
+				n: n, p: p, mk: mk, name: mk().Name(), bound: bound,
+				initials: initials, last: di == len(daemons)-1,
 			})
+		}
+	}
+
+	var xs, ys []float64
+	worst := 0
+	closureOK := true
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(cell) int { return trials },
+		func(c cell, t int) (runOutcome, error) {
+			e, err := newEngine[int](cfg, c.p, c.mk(), c.initials[t], int64(t+1))
 			if err != nil {
-				return nil, err
+				return runOutcome{}, err
 			}
+			return measureRun(e, c.bound, c.p.Clock().K, c.p.SafeME, c.p.Legitimate)
+		},
+		func(c cell, outs []runOutcome) error {
 			for _, out := range outs {
 				if !out.legitReached {
-					table.AddNote("n=%d under %s: Γ₁ not reached within the Theorem 3 bound — VIOLATION", n, name)
+					table.AddNote("n=%d under %s: Γ₁ not reached within the Theorem 3 bound — VIOLATION", c.n, c.name)
 					closureOK = false
 					continue
 				}
@@ -72,11 +93,17 @@ func E4UnfairConvergence(cfg RunConfig) ([]*stats.Table, error) {
 					worst = out.legitMoves
 				}
 			}
-		}
-		headroom := float64(bound) / float64(maxInt(worst, 1))
-		table.AddRow(n, g.Diameter(), worst, bound, headroom, ok(closureOK))
-		xs = append(xs, float64(n))
-		ys = append(ys, float64(maxInt(worst, 1)))
+			if c.last {
+				headroom := float64(c.bound) / float64(maxInt(worst, 1))
+				table.AddRow(c.n, c.p.Graph().Diameter(), worst, c.bound, headroom, ok(closureOK))
+				xs = append(xs, float64(c.n))
+				ys = append(ys, float64(maxInt(worst, 1)))
+				worst, closureOK = 0, true
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if fit, err := stats.FitPower(xs, ys); err == nil {
 		table.AddNote("measured worst-move growth ≈ n^%.2f (R²=%.3f); the bound grows as n⁴ on rings (diam=n/2) — measured stays well inside O(diam·n³)",

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"specstab/internal/campaign"
+
 	"specstab/internal/bfstree"
 	"specstab/internal/core"
 	"specstab/internal/daemon"
@@ -25,39 +27,43 @@ import (
 //	MMPT matching : (ud, sd, 4n+2m, 2n+1) — superlinear vs linear on K_n
 //	SSME          : (ud, sd, O(diam·n³), ⌈diam/2⌉)
 func E6Catalogue(cfg RunConfig) ([]*stats.Table, error) {
-	// The four certificates are measured on disjoint protocol instances
-	// with independent rng salts, so they fan out as one trial each.
-	makers := []func(RunConfig) (speculation.Certificate, error){
-		e6Dijkstra, e6BFS, e6Matching, e6SSME,
-	}
-	certs, err := forTrials(cfg, len(makers), func(i int) (speculation.Certificate, error) {
-		return makers[i](cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-
+	// The grid is the catalogue itself: four certificates measured on
+	// disjoint protocol instances with independent rng salts, one cell
+	// each; the extractor renders the summary row and the detail curve.
 	summary := stats.NewTable(
 		"E6 — Section 3 catalogue: measured speculative-stabilization certificates",
 		"protocol", "claimed strong", "claimed weak", "measured strong exp", "measured weak exp", "separated",
 	)
 	tables := []*stats.Table{summary}
-	for _, cert := range certs {
-		summary.AddRow(cert.Claim.Protocol,
-			fmt.Sprintf("%s ~ size^%.1f", cert.Claim.Strong, cert.Claim.StrongExponent),
-			fmt.Sprintf("%s ~ size^%.1f", cert.Claim.Weak, cert.Claim.WeakExponent),
-			cert.StrongFit.Exponent, cert.WeakFit.Exponent, ok(cert.Separated(0.6)))
+	cells := []func(RunConfig) (speculation.Certificate, error){
+		e6Dijkstra, e6BFS, e6Matching, e6SSME,
+	}
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(func(RunConfig) (speculation.Certificate, error)) int { return 1 },
+		func(measure func(RunConfig) (speculation.Certificate, error), _ int) (speculation.Certificate, error) {
+			return measure(cfg)
+		},
+		func(_ func(RunConfig) (speculation.Certificate, error), certs []speculation.Certificate) error {
+			cert := certs[0]
+			summary.AddRow(cert.Claim.Protocol,
+				fmt.Sprintf("%s ~ size^%.1f", cert.Claim.Strong, cert.Claim.StrongExponent),
+				fmt.Sprintf("%s ~ size^%.1f", cert.Claim.Weak, cert.Claim.WeakExponent),
+				cert.StrongFit.Exponent, cert.WeakFit.Exponent, ok(cert.Separated(0.6)))
 
-		detail := stats.NewTable("E6 detail — "+cert.Claim.Protocol,
-			"size", "strong ("+cert.Claim.Strong.String()+")", "weak ("+cert.Claim.Weak.String()+")")
-		for i := range cert.Strong {
-			weak := 0.0
-			if i < len(cert.Weak) {
-				weak = cert.Weak[i].Conv
+			detail := stats.NewTable("E6 detail — "+cert.Claim.Protocol,
+				"size", "strong ("+cert.Claim.Strong.String()+")", "weak ("+cert.Claim.Weak.String()+")")
+			for i := range cert.Strong {
+				weak := 0.0
+				if i < len(cert.Weak) {
+					weak = cert.Weak[i].Conv
+				}
+				detail.AddRow(cert.Strong[i].Size, cert.Strong[i].Conv, weak)
 			}
-			detail.AddRow(cert.Strong[i].Size, cert.Strong[i].Conv, weak)
-		}
-		tables = append(tables, detail)
+			tables = append(tables, detail)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return tables, nil
 }

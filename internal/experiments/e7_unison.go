@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"specstab/internal/campaign"
 	"specstab/internal/daemon"
 	"specstab/internal/sim"
 	"specstab/internal/stats"
@@ -14,12 +15,38 @@ import (
 // Devismes–Petit move bound under unfair daemons (used in Theorem 3) —
 // with both the paper's safe parameters (α = n) and the minimal parameters
 // the underlying theory allows (α = hole−2, K = cyclo+1).
+//
+// The grid is topology × parameter family; each cell fans out its
+// synchronous trials and the trials of its three ud daemons together
+// (grouped by trailing index ranges), with all initial configurations
+// drawn at expansion time.
 func E7Unison(cfg RunConfig) ([]*stats.Table, error) {
 	trials := cfg.pick(10, 40)
+	udTrials := cfg.pick(2, 5)
 	table := stats.NewTable(
 		"E7 — asynchronous unison: measured vs proven bounds (worst over trials)",
 		"graph", "params", "sync worst", "α+lcp+diam", "ud worst moves", "Devismes–Petit bound", "ok",
 	)
+
+	udDaemons := func(u *unison.Protocol) []func() sim.Daemon[int] {
+		return []func() sim.Daemon[int]{
+			func() sim.Daemon[int] { return daemon.NewRandomCentral[int]() },
+			func() sim.Daemon[int] { return daemon.NewDistributed[int](0.4) },
+			func() sim.Daemon[int] { return daemon.NewGreedyCentral[int](u, u.DisorderPotential) },
+		}
+	}
+
+	type cell struct {
+		u          *unison.Protocol
+		gname      string
+		pname      string
+		syncBound  int
+		udBound    int
+		syncInit   []sim.Config[int]
+		udInit     [][]sim.Config[int] // per ud daemon, per trial
+		udFactorys []func() sim.Daemon[int]
+	}
+	var cells []cell
 	for _, g := range zoo(cfg) {
 		for _, params := range []struct {
 			name string
@@ -32,54 +59,56 @@ func E7Unison(cfg RunConfig) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			syncBound := u.SyncHorizon()
-			udBound := u.UnfairHorizonMoves()
 			rng := cfg.rng(int64(13 * g.N()))
-
-			syncInitials := make([]sim.Config[int], trials)
-			for t := range syncInitials {
-				syncInitials[t] = sim.RandomConfig[int](u, rng)
+			syncInit := make([]sim.Config[int], trials)
+			for t := range syncInit {
+				syncInit[t] = sim.RandomConfig[int](u, rng)
 			}
-			syncOuts, err := forTrials(cfg, trials, func(t int) (runOutcome, error) {
-				e := mustNewEngine[int](cfg, u, daemon.NewSynchronous[int](), syncInitials[t], 1)
-				return measureRun(e, syncBound, u.Clock().K, u.Legitimate, u.Legitimate)
+			factories := udDaemons(u)
+			udInit := make([][]sim.Config[int], len(factories))
+			for d := range factories {
+				udInit[d] = make([]sim.Config[int], udTrials)
+				for t := range udInit[d] {
+					udInit[d][t] = sim.RandomConfig[int](u, rng)
+				}
+			}
+			cells = append(cells, cell{
+				u: u, gname: g.Name(), pname: params.name,
+				syncBound: u.SyncHorizon(), udBound: u.UnfairHorizonMoves(),
+				syncInit: syncInit, udInit: udInit, udFactorys: factories,
 			})
-			if err != nil {
-				return nil, err
+		}
+	}
+
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(c cell) int { return trials + len(c.udFactorys)*udTrials },
+		func(c cell, t int) (runOutcome, error) {
+			if t < trials {
+				e := mustNewEngine[int](cfg, c.u, daemon.NewSynchronous[int](), c.syncInit[t], 1)
+				return measureRun(e, c.syncBound, c.u.Clock().K, c.u.Legitimate, c.u.Legitimate)
 			}
+			d := (t - trials) / udTrials
+			ut := (t - trials) % udTrials
+			e := mustNewEngine[int](cfg, c.u, c.udFactorys[d](), c.udInit[d][ut], int64(ut+1))
+			return measureRun(e, c.udBound, c.u.Clock().K, c.u.Legitimate, c.u.Legitimate)
+		},
+		func(c cell, outs []runOutcome) error {
 			worstSync := 0
-			for _, out := range syncOuts {
+			for _, out := range outs[:trials] {
 				if !out.legitReached {
-					worstSync = syncBound + 1 // visible violation
+					worstSync = c.syncBound + 1 // visible violation
 					break
 				}
 				if out.legitSteps > worstSync {
 					worstSync = out.legitSteps
 				}
 			}
-
 			worstMoves := 0
-			udDaemons := []func() sim.Daemon[int]{
-				func() sim.Daemon[int] { return daemon.NewRandomCentral[int]() },
-				func() sim.Daemon[int] { return daemon.NewDistributed[int](0.4) },
-				func() sim.Daemon[int] { return daemon.NewGreedyCentral[int](u, u.DisorderPotential) },
-			}
-			udTrials := cfg.pick(2, 5)
-			for _, mk := range udDaemons {
-				initials := make([]sim.Config[int], udTrials)
-				for t := range initials {
-					initials[t] = sim.RandomConfig[int](u, rng)
-				}
-				outs, err := forTrials(cfg, udTrials, func(t int) (runOutcome, error) {
-					e := mustNewEngine[int](cfg, u, mk(), initials[t], int64(t+1))
-					return measureRun(e, udBound, u.Clock().K, u.Legitimate, u.Legitimate)
-				})
-				if err != nil {
-					return nil, err
-				}
-				for _, out := range outs {
+			for d := range c.udFactorys {
+				group := outs[trials+d*udTrials : trials+(d+1)*udTrials]
+				for _, out := range group {
 					if !out.legitReached {
-						worstMoves = udBound + 1
+						worstMoves = c.udBound + 1
 						break
 					}
 					if out.legitMoves > worstMoves {
@@ -87,10 +116,12 @@ func E7Unison(cfg RunConfig) ([]*stats.Table, error) {
 					}
 				}
 			}
-
-			table.AddRow(g.Name(), params.name, worstSync, syncBound, worstMoves, udBound,
-				ok(worstSync <= syncBound && worstMoves <= udBound))
-		}
+			table.AddRow(c.gname, c.pname, worstSync, c.syncBound, worstMoves, c.udBound,
+				ok(worstSync <= c.syncBound && worstMoves <= c.udBound))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	table.AddNote("sync measurements use the legitimacy predicate Γ₁ for both safety and legitimacy: unison's spec is Γ₁ membership itself")
 	return []*stats.Table{table}, nil

@@ -24,6 +24,9 @@ import (
 //	(c) the price of the big clock — SSME's stabilization time does not
 //	    depend on K, but the critical-section service cycle is Θ(K) =
 //	    Θ(n·diam): speculation buys stabilization speed, not service rate.
+//
+// (b) and (c) are rows-cell grids: each exhaustive-checker instance and
+// each ring size runs as one parallel cell, folded in grid order.
 func E8Ablations(cfg RunConfig) ([]*stats.Table, error) {
 	a, err := e8Spacing()
 	if err != nil {
@@ -99,42 +102,58 @@ func e8Checker(cfg RunConfig) (*stats.Table, error) {
 	if !cfg.Quick {
 		graphs = append(graphs, graph.Path(3))
 	}
+	var cells []rowsCell
 	for _, g := range graphs {
-		p, err := core.New(g)
-		if err != nil {
-			return nil, err
-		}
-		syncRep, err := check.SyncWorst[int](p, check.SyncOptions[int]{
-			Domain:  func(int) []int { return p.Clock().Values() },
-			Safe:    p.SafeME,
-			Legit:   p.Legitimate,
-			Horizon: p.ServiceWindow(),
-		})
-		if err != nil {
-			return nil, err
-		}
-		bound := core.SyncBound(g)
-		table.AddRow("SSME sync "+g.Name(), syncRep.Configs,
-			fmt.Sprintf("worst conv = %d steps", syncRep.WorstSteps),
-			fmt.Sprintf("= ⌈diam/2⌉ = %d", bound), ok(syncRep.WorstSteps == bound))
-
-		udRep, err := check.Exhaustive[int](p, check.Options[int]{
-			Domain:       func(int) []int { return p.Clock().Values() },
-			Legit:        p.Legitimate,
-			Safe:         p.SafeME,
-			CheckClosure: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		table.AddRow("SSME ud "+g.Name(), udRep.Configs,
-			fmt.Sprintf("worst = %d moves, closure viol = %d, unsafe legit = %d, deadlocks = %d",
-				udRep.WorstMoves, udRep.ClosureViolations, udRep.UnsafeLegit, udRep.DeadlockCount),
-			fmt.Sprintf("≤ %d moves", p.UnfairBoundMoves()),
-			ok(!udRep.NonConverging && udRep.WorstMoves <= p.UnfairBoundMoves() &&
-				udRep.ClosureViolations == 0 && udRep.UnsafeLegit == 0 && udRep.DeadlockCount == 0))
+		g := g
+		cells = append(cells, rowsCell{run: func() ([][]any, error) { return e8CheckerRows(g) }})
 	}
+	cells = append(cells, rowsCell{run: e8DivergenceRow})
+	if err := runRows(cfg.pool(), table, cells); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
 
+// e8CheckerRows exhausts one SSME instance under both daemons.
+func e8CheckerRows(g *graph.Graph) ([][]any, error) {
+	p, err := core.New(g)
+	if err != nil {
+		return nil, err
+	}
+	syncRep, err := check.SyncWorst[int](p, check.SyncOptions[int]{
+		Domain:  func(int) []int { return p.Clock().Values() },
+		Safe:    p.SafeME,
+		Legit:   p.Legitimate,
+		Horizon: p.ServiceWindow(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	bound := core.SyncBound(g)
+	rows := [][]any{{"SSME sync " + g.Name(), syncRep.Configs,
+		fmt.Sprintf("worst conv = %d steps", syncRep.WorstSteps),
+		fmt.Sprintf("= ⌈diam/2⌉ = %d", bound), ok(syncRep.WorstSteps == bound)}}
+
+	udRep, err := check.Exhaustive[int](p, check.Options[int]{
+		Domain:       func(int) []int { return p.Clock().Values() },
+		Legit:        p.Legitimate,
+		Safe:         p.SafeME,
+		CheckClosure: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, []any{"SSME ud " + g.Name(), udRep.Configs,
+		fmt.Sprintf("worst = %d moves, closure viol = %d, unsafe legit = %d, deadlocks = %d",
+			udRep.WorstMoves, udRep.ClosureViolations, udRep.UnsafeLegit, udRep.DeadlockCount),
+		fmt.Sprintf("≤ %d moves", p.UnfairBoundMoves()),
+		ok(!udRep.NonConverging && udRep.WorstMoves <= p.UnfairBoundMoves() &&
+			udRep.ClosureViolations == 0 && udRep.UnsafeLegit == 0 && udRep.DeadlockCount == 0)})
+	return rows, nil
+}
+
+// e8DivergenceRow exhausts the under-provisioned Dijkstra ring.
+func e8DivergenceRow() ([][]any, error) {
 	under, err := dijkstra.NewUnchecked(4, 2)
 	if err != nil {
 		return nil, err
@@ -146,10 +165,9 @@ func e8Checker(cfg RunConfig) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	table.AddRow("dijkstra n=4 K=2", divRep.Configs,
+	return [][]any{{"dijkstra n=4 K=2", divRep.Configs,
 		fmt.Sprintf("non-converging = %v (witness %v)", divRep.NonConverging, divRep.CycleWitness),
-		"divergence expected for K < n", ok(divRep.NonConverging))
-	return table, nil
+		"divergence expected for K < n", ok(divRep.NonConverging)}}, nil
 }
 
 // e8ServiceCost contrasts stabilization time with service latency on rings:
@@ -164,32 +182,42 @@ func e8ServiceCost(cfg RunConfig) (*stats.Table, error) {
 		"E8c — the price of the big clock (rings, synchronous executions)",
 		"n", "K", "sync conv (worst island)", "bound ⌈diam/2⌉", "max CS gap (steps)", "unison-only K (minimal)",
 	)
+	var cells []rowsCell
 	for _, n := range sizes {
-		g := graph.Ring(n)
-		p, err := core.New(g)
-		if err != nil {
-			return nil, err
-		}
-		worst, err := p.WorstSyncConfig()
-		if err != nil {
-			return nil, err
-		}
-		rep, err := p.MeasureSync(worst)
-		if err != nil {
-			return nil, err
-		}
-		initial, err := p.UniformConfig(0)
-		if err != nil {
-			return nil, err
-		}
-		e := mustNewEngine[int](cfg, p, daemon.NewSynchronous[int](), initial, 1)
-		svc, err := p.MeasureService(e, 3*p.ServiceWindow())
-		if err != nil {
-			return nil, err
-		}
-		table.AddRow(n, p.Clock().K, rep.ConvergenceSteps, core.SyncBound(g),
-			svc.MaxGap, unison.MinimalParams(g).K)
+		n := n
+		cells = append(cells, rowsCell{run: func() ([][]any, error) { return e8ServiceCostRow(cfg, n) }})
+	}
+	if err := runRows(cfg.pool(), table, cells); err != nil {
+		return nil, err
 	}
 	table.AddNote("stabilization stays at ⌈diam/2⌉ regardless of K; service gap scales with K = Θ(n·diam) — the clock pays rotation latency for privilege spacing")
 	return table, nil
+}
+
+// e8ServiceCostRow measures one ring size.
+func e8ServiceCostRow(cfg RunConfig, n int) ([][]any, error) {
+	g := graph.Ring(n)
+	p, err := core.New(g)
+	if err != nil {
+		return nil, err
+	}
+	worst, err := p.WorstSyncConfig()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.MeasureSync(worst)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := p.UniformConfig(0)
+	if err != nil {
+		return nil, err
+	}
+	e := mustNewEngine[int](cfg, p, daemon.NewSynchronous[int](), initial, 1)
+	svc, err := p.MeasureService(e, 3*p.ServiceWindow())
+	if err != nil {
+		return nil, err
+	}
+	return [][]any{{n, p.Clock().K, rep.ConvergenceSteps, core.SyncBound(g),
+		svc.MaxGap, unison.MinimalParams(g).K}}, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"specstab/internal/campaign"
 	"specstab/internal/core"
 	"specstab/internal/daemon"
 	"specstab/internal/graph"
@@ -24,6 +25,10 @@ import (
 //     Θ(n²) under central schedules (one move per step) — so SSME is
 //     (ud; dd, sd)-speculatively stabilizing in the step measure, while
 //     cd buys nothing. The adversary hierarchy matters measure by measure.
+//
+// The grid is ring size × daemon; all trials of a size share the same
+// initial configurations (drawn once at expansion), so the daemons face
+// the identical fault aftermath.
 func E9DaemonSpectrum(cfg RunConfig) ([]*stats.Table, error) {
 	sizes := []int{8, 12, 16}
 	if !cfg.Quick {
@@ -45,6 +50,15 @@ func E9DaemonSpectrum(cfg RunConfig) ([]*stats.Table, error) {
 	)
 	curves := map[curveKey][]speculation.CurvePoint{}
 
+	type cell struct {
+		n        int
+		p        *core.Protocol
+		key      curveKey
+		mk       func() sim.Daemon[int]
+		name     string
+		initials []sim.Config[int]
+	}
+	var cells []cell
 	for _, n := range sizes {
 		g := graph.Ring(n)
 		p, err := core.New(g)
@@ -66,42 +80,48 @@ func E9DaemonSpectrum(cfg RunConfig) ([]*stats.Table, error) {
 			{kSD, func() sim.Daemon[int] { return daemon.NewSynchronous[int]() }},
 		}
 		for _, d := range daemons {
-			name := d.mk().Name()
-			type spectrumOutcome struct {
-				legit                bool
-				steps, moves, rounds int
-			}
-			outs, err := forTrials(cfg, trials, func(t int) (spectrumOutcome, error) {
-				e, err := newEngine[int](cfg, p, d.mk(), initials[t], int64(t+1))
-				if err != nil {
-					return spectrumOutcome{}, err
-				}
-				if _, err := e.Run(p.UnfairBoundMoves(), p.Legitimate); err != nil {
-					return spectrumOutcome{}, err
-				}
-				return spectrumOutcome{
-					legit:  p.Legitimate(e.Current()),
-					steps:  e.Steps(),
-					moves:  e.Moves(),
-					rounds: e.Rounds(),
-				}, nil
-			})
+			cells = append(cells, cell{n: n, p: p, key: d.key, mk: d.mk, name: d.mk().Name(), initials: initials})
+		}
+	}
+
+	type spectrumOutcome struct {
+		legit                bool
+		steps, moves, rounds int
+	}
+	err := campaign.Sweep(cfg.pool(), cells,
+		func(cell) int { return trials },
+		func(c cell, t int) (spectrumOutcome, error) {
+			e, err := newEngine[int](cfg, c.p, c.mk(), c.initials[t], int64(t+1))
 			if err != nil {
-				return nil, err
+				return spectrumOutcome{}, err
 			}
+			if _, err := e.Run(c.p.UnfairBoundMoves(), c.p.Legitimate); err != nil {
+				return spectrumOutcome{}, err
+			}
+			return spectrumOutcome{
+				legit:  c.p.Legitimate(e.Current()),
+				steps:  e.Steps(),
+				moves:  e.Moves(),
+				rounds: e.Rounds(),
+			}, nil
+		},
+		func(c cell, outs []spectrumOutcome) error {
 			worstSteps, worstMoves, worstRounds := 0, 0, 0
 			for _, out := range outs {
 				if !out.legit {
-					table.AddNote("n=%d under %s: Γ₁ not reached — VIOLATED", n, name)
+					table.AddNote("n=%d under %s: Γ₁ not reached — VIOLATED", c.n, c.name)
 					continue
 				}
 				worstSteps = maxInt(worstSteps, out.steps)
 				worstMoves = maxInt(worstMoves, out.moves)
 				worstRounds = maxInt(worstRounds, out.rounds)
 			}
-			table.AddRow(n, name, worstSteps, worstMoves, worstRounds)
-			curves[d.key] = append(curves[d.key], speculation.CurvePoint{Size: n, Conv: float64(worstSteps)})
-		}
+			table.AddRow(c.n, c.name, worstSteps, worstMoves, worstRounds)
+			curves[c.key] = append(curves[c.key], speculation.CurvePoint{Size: c.n, Conv: float64(worstSteps)})
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	claim := speculation.MultiClaim{

@@ -4,11 +4,14 @@
 // benchmarks, and EXPERIMENTS.md records the measured outcomes next to the
 // paper's claims.
 //
-// Independent seeded trials fan out over a worker pool (RunConfig.Workers,
-// see parallel.go): per-trial randomness is fixed before the fan-out and
-// results fold in trial order, so all experiments are deterministic given
-// RunConfig.Seed for every worker count — E12's wall-clock columns
-// excepted, as timings necessarily vary between runs.
+// Every experiment is a campaign: a grid of cells (topology × daemon ×
+// size × intensity) expanded up front, executed cell × trial on the
+// deterministic worker pool of internal/campaign, and folded in grid
+// order by a thin metric extractor that renders the rows (DESIGN.md §9).
+// Per-cell randomness is fixed at grid-expansion time and folds run in
+// cell order, so all experiments are deterministic given RunConfig.Seed
+// for every worker count — E12's wall-clock columns excepted, as timings
+// necessarily vary between runs.
 package experiments
 
 import (
@@ -16,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"specstab/internal/campaign"
 	"specstab/internal/graph"
 	"specstab/internal/scenario"
 	"specstab/internal/sim"
@@ -29,9 +33,9 @@ type RunConfig struct {
 	Quick bool
 	// Seed drives all randomness (default 1 if zero).
 	Seed int64
-	// Workers caps the trial worker pool (0 = GOMAXPROCS). Tables are
-	// bitwise identical for every value — trials are seeded
-	// deterministically and folded in trial order (see parallel.go).
+	// Workers caps the cell×trial worker pool (0 = GOMAXPROCS). Tables
+	// are bitwise identical for every value — cells are seeded at
+	// grid-expansion time and folded in grid order (internal/campaign).
 	Workers int
 	// Backend selects the engine execution backend: "auto" (or empty),
 	// "generic", or "flat". "flat" forces the packed backend where the
@@ -61,6 +65,15 @@ func engineOptions[S comparable](cfg RunConfig, p sim.Protocol[S]) (sim.Options,
 func newEngine[S comparable](cfg RunConfig, p sim.Protocol[S], d sim.Daemon[S], initial sim.Config[S], seed int64) (*sim.Engine[S], error) {
 	return scenario.NewEngine(cfg.engineSpec(), p, d, initial, seed)
 }
+
+// pool is the deterministic worker pool every grid fans out on.
+func (c RunConfig) pool() campaign.Pool {
+	return campaign.Pool{Workers: c.Workers}
+}
+
+// seqPool is the single-worker pool of the wall-clock experiments: cells
+// run strictly one after another, so timing columns never contend.
+func seqPool() campaign.Pool { return campaign.Pool{Workers: 1} }
 
 func (c RunConfig) seed() int64 {
 	if c.Seed == 0 {
@@ -149,6 +162,25 @@ func zoo(cfg RunConfig) []*graph.Graph {
 	}
 	sort.Slice(gs, func(i, j int) bool { return gs[i].Name() < gs[j].Name() })
 	return gs
+}
+
+// rowsCell is the reduce-only grid cell of the structural experiments: run
+// computes a cell's finished table rows (in parallel with the other
+// cells), and the shared fold appends them in grid order.
+type rowsCell struct{ run func() ([][]any, error) }
+
+// runRows executes a rows-cell grid on the pool and appends every cell's
+// rows to table in grid order.
+func runRows(pool campaign.Pool, table *stats.Table, cells []rowsCell) error {
+	return campaign.Sweep(pool, cells,
+		func(rowsCell) int { return 1 },
+		func(c rowsCell, _ int) ([][]any, error) { return c.run() },
+		func(_ rowsCell, outs [][][]any) error {
+			for _, row := range outs[0] {
+				table.AddRow(row...)
+			}
+			return nil
+		})
 }
 
 // mustNewEngine is newEngine for statically correct inputs; it panics on

@@ -23,10 +23,10 @@ func render(t *testing.T, id string, cfg RunConfig) string {
 	return b.String()
 }
 
-// TestWorkerCountInvariance is the parallel-harness determinism guarantee:
-// the tables must be bitwise identical whether trials run sequentially
-// (Workers=1) or on a saturated pool — per-trial seeds are fixed before
-// the fan-out and results fold in trial order.
+// TestWorkerCountInvariance is the grid-scheduler determinism guarantee:
+// the tables must be bitwise identical whether cells run sequentially
+// (Workers=1) or on a saturated pool — per-cell randomness is fixed at
+// grid expansion and folds run in grid order (internal/campaign).
 func TestWorkerCountInvariance(t *testing.T) {
 	t.Parallel()
 	// E2 (trial fan-out per daemon), E4 (daemon factories), E7 (two-stage
@@ -42,19 +42,5 @@ func TestWorkerCountInvariance(t *testing.T) {
 				t.Errorf("%s tables differ between Workers=1 and Workers=8", id)
 			}
 		})
-	}
-}
-
-func TestWorkerCountResolution(t *testing.T) {
-	t.Parallel()
-	cfg := RunConfig{}
-	if w := cfg.workerCount(4); w < 1 {
-		t.Errorf("default worker count %d < 1", w)
-	}
-	if w := (RunConfig{Workers: 16}).workerCount(3); w != 3 {
-		t.Errorf("worker count not capped by task size: got %d, want 3", w)
-	}
-	if w := (RunConfig{Workers: 2}).workerCount(100); w != 2 {
-		t.Errorf("explicit worker count not honored: got %d, want 2", w)
 	}
 }

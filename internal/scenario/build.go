@@ -10,7 +10,6 @@ package scenario
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"strings"
 
@@ -467,11 +466,7 @@ func makeProbes[S comparable](p sim.Protocol[S], cur func() sim.Config[S]) Probe
 		State:    func(v int) string { return fmt.Sprint(cur()[v]) },
 		RuleName: p.RuleName,
 	}
-	pr.Fingerprint = func() uint64 {
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%v", cur())
-		return h.Sum64()
-	}
+	pr.Fingerprint = func() uint64 { return sim.FingerprintConfig(cur()) }
 	if lg, ok := any(p).(interface{ Legitimate(sim.Config[S]) bool }); ok {
 		pr.Legitimate = func() bool { return lg.Legitimate(cur()) }
 	}

@@ -1,0 +1,118 @@
+package scenario
+
+// Parameter domains. Every protocol parameter a ProtocolSpec can carry has
+// a declared validity domain, so grid-building layers (internal/campaign)
+// can reject a bad axis — "dijkstra with k=4 on a 12-ring" — before any
+// cell runs, with an error naming the parameter, the offending value and
+// the valid range. The protocol constructors stay the final authority
+// (they validate again at build time); the domains are the cheap,
+// constructor-free pre-flight check.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParamDomain documents one protocol parameter's validity domain.
+type ParamDomain struct {
+	// Param is the ProtocolSpec field name as it appears in JSON.
+	Param string
+	// Domain is the human-readable validity statement List() prints and
+	// error messages quote.
+	Domain string
+	// check rejects values outside the domain; n is the topology size the
+	// spec will be built against. nil means every value is valid.
+	check func(spec ProtocolSpec, n int) error
+}
+
+// paramDomains maps protocol registry names to their parameter domains, in
+// presentation order. Protocols without parameters have no entry. Filled
+// by init: the product entry's check recurses through CheckProtocolSpec,
+// which a composite literal would turn into an initialization cycle.
+var paramDomains map[string][]ParamDomain
+
+func init() {
+	paramDomains = map[string][]ParamDomain{
+		"unison": {
+			{Param: "minimal", Domain: "bool: false = the paper's safe α=n parameters, true = α=hole−2, K=cyclo+1"},
+		},
+		"dijkstra": {
+			{Param: "k", Domain: "0 (= n, the smallest correct choice) or ≥ n; values in 1..n−1 need unchecked",
+				check: func(spec ProtocolSpec, n int) error {
+					if spec.K < 0 {
+						return fmt.Errorf("k=%d is negative", spec.K)
+					}
+					if !spec.Unchecked && spec.K != 0 && spec.K < n {
+						return fmt.Errorf("k=%d < n=%d diverges (set unchecked to demonstrate exactly that)", spec.K, n)
+					}
+					return nil
+				}},
+			{Param: "unchecked", Domain: "bool: skip the K ≥ n validation (the deliberate divergence demo)"},
+		},
+		"bfstree": {
+			{Param: "root", Domain: "vertex id in 0..n−1",
+				check: func(spec ProtocolSpec, n int) error {
+					if spec.Root < 0 || spec.Root >= n {
+						return fmt.Errorf("root=%d outside 0..%d", spec.Root, n-1)
+					}
+					return nil
+				}},
+		},
+		"lexclusion": {
+			{Param: "l", Domain: "0 (= 2) or 1..n concurrent critical sections",
+				check: func(spec ProtocolSpec, n int) error {
+					if spec.L < 0 || spec.L > n {
+						return fmt.Errorf("l=%d outside 1..%d", spec.L, n)
+					}
+					return nil
+				}},
+		},
+		"product": {
+			{Param: "factors", Domain: "exactly 2 int-state component protocols (no nested products)",
+				check: func(spec ProtocolSpec, n int) error {
+					if len(spec.Factors) != 2 {
+						return fmt.Errorf("product needs exactly 2 factors, got %d", len(spec.Factors))
+					}
+					for _, f := range spec.Factors {
+						if strings.EqualFold(f.Name, "product") {
+							return fmt.Errorf("product factors cannot be products themselves")
+						}
+						if strings.EqualFold(f.Name, "matching") {
+							return fmt.Errorf("product factor %q is not an int-state protocol", f.Name)
+						}
+						if err := CheckProtocolSpec(f, n); err != nil {
+							return err
+						}
+					}
+					return nil
+				}},
+		},
+	}
+}
+
+// ParamDomains returns the declared parameter domains of the named
+// protocol (nil when it has none, or the name is unknown — use
+// ProtocolNames for existence).
+func ParamDomains(protocol string) []ParamDomain {
+	return paramDomains[strings.ToLower(protocol)]
+}
+
+// CheckProtocolSpec validates spec's parameters against the declared
+// domains for a topology of n vertices, without constructing anything.
+// Errors name the protocol, the parameter and the valid domain — precise
+// enough for a campaign to reject a whole grid axis. The constructors
+// remain the final authority; this is the pre-flight check.
+func CheckProtocolSpec(spec ProtocolSpec, n int) error {
+	if _, err := protocolLookup(spec.Name); err != nil {
+		return err
+	}
+	for _, pd := range paramDomains[strings.ToLower(spec.Name)] {
+		if pd.check == nil {
+			continue
+		}
+		if err := pd.check(spec, n); err != nil {
+			return fmt.Errorf("%s: %w (domain: %s)", strings.ToLower(spec.Name), err, pd.Domain)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package scenario_test
+
+import (
+	"strings"
+	"testing"
+
+	"specstab/internal/scenario"
+)
+
+// TestCheckProtocolSpec pins the constructor-free domain validation the
+// campaign layer rejects bad grids with.
+func TestCheckProtocolSpec(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name   string
+		spec   scenario.ProtocolSpec
+		n      int
+		needle string // "" = valid
+	}{
+		{"ssme no params", scenario.ProtocolSpec{Name: "ssme"}, 8, ""},
+		{"dijkstra k=0 default", scenario.ProtocolSpec{Name: "dijkstra"}, 8, ""},
+		{"dijkstra k=n", scenario.ProtocolSpec{Name: "dijkstra", K: 8}, 8, ""},
+		{"dijkstra k<n", scenario.ProtocolSpec{Name: "dijkstra", K: 4}, 8, "diverges"},
+		{"dijkstra k<n unchecked", scenario.ProtocolSpec{Name: "dijkstra", K: 4, Unchecked: true}, 8, ""},
+		{"dijkstra negative k", scenario.ProtocolSpec{Name: "dijkstra", K: -1}, 8, "negative"},
+		{"bfstree root ok", scenario.ProtocolSpec{Name: "bfstree", Root: 7}, 8, ""},
+		{"bfstree root out of range", scenario.ProtocolSpec{Name: "bfstree", Root: 8}, 8, "outside 0..7"},
+		{"lexclusion l ok", scenario.ProtocolSpec{Name: "lexclusion", L: 3}, 8, ""},
+		{"lexclusion l>n", scenario.ProtocolSpec{Name: "lexclusion", L: 9}, 8, "outside 1..8"},
+		{"product ok", scenario.ProtocolSpec{Name: "product", Factors: []scenario.ProtocolSpec{
+			{Name: "unison"}, {Name: "bfstree"},
+		}}, 8, ""},
+		{"product one factor", scenario.ProtocolSpec{Name: "product", Factors: []scenario.ProtocolSpec{
+			{Name: "unison"},
+		}}, 8, "exactly 2 factors"},
+		{"product nested", scenario.ProtocolSpec{Name: "product", Factors: []scenario.ProtocolSpec{
+			{Name: "product"}, {Name: "unison"},
+		}}, 8, "cannot be products"},
+		{"product bad factor param", scenario.ProtocolSpec{Name: "product", Factors: []scenario.ProtocolSpec{
+			{Name: "dijkstra", K: 3}, {Name: "unison"},
+		}}, 8, "diverges"},
+		{"unknown protocol", scenario.ProtocolSpec{Name: "nope"}, 8, "unknown protocol"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			err := scenario.CheckProtocolSpec(tc.spec, tc.n)
+			if tc.needle == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.needle) {
+				t.Fatalf("error %v, want containing %q", err, tc.needle)
+			}
+		})
+	}
+}
+
+// TestParamDomainsListed: every declared domain appears in List(), so the
+// catalogue and the validator cannot drift apart.
+func TestParamDomainsListed(t *testing.T) {
+	t.Parallel()
+	listing := scenario.List()
+	for _, name := range scenario.ProtocolNames() {
+		for _, pd := range scenario.ParamDomains(name) {
+			if !strings.Contains(listing, pd.Param+": "+pd.Domain) {
+				t.Errorf("%s.%s domain missing from List()", name, pd.Param)
+			}
+		}
+	}
+}

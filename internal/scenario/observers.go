@@ -2,8 +2,8 @@ package scenario
 
 // The stock observers. Each one is a small measurement that attaches to
 // the engine's hook pipeline (sim.Engine.AddHook) at build time, so any
-// combination can watch one run simultaneously — the composability the
-// single SetHook slot never had. Observers needing typed access (trace
+// combination can watch one run simultaneously — the composability a
+// single observer slot never had. Observers needing typed access (trace
 // rendering, rule names) are constructed inside the typed glue
 // (attachObservers) and expose only erased closures.
 

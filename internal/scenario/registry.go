@@ -273,6 +273,9 @@ func List() string {
 			params = " (params: " + e.params + ")"
 		}
 		fmt.Fprintf(&b, "  %-12s %s%s\n", e.name, e.desc, params)
+		for _, pd := range ParamDomains(e.name) {
+			fmt.Fprintf(&b, "  %-12s   %s: %s\n", "", pd.Param, pd.Domain)
+		}
 	}
 	b.WriteString("topologies:\n")
 	for _, e := range topologyRegistry {

@@ -186,9 +186,9 @@ func New(lock Lock, d sim.Daemon[int], initial sim.Config[int], seed int64, wl W
 		s.dirtyMark = make([]bool, n)
 	}
 	s.rescanPriv()
-	// Join the observer pipeline rather than claiming the single SetHook
-	// slot, so callers can attach traces and measurements to s.Engine()
-	// without severing the privilege maintenance.
+	// Join the observer pipeline, so callers can attach traces and
+	// measurements to s.Engine() without severing the privilege
+	// maintenance.
 	eng.AddHook(func(info sim.StepInfo) { s.refreshPriv(info.Activated) })
 	return s, nil
 }

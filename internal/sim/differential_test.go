@@ -67,7 +67,7 @@ func daemonMatrix[S comparable](p sim.Protocol[S]) map[string]func() sim.Daemon[
 func trace[S comparable](t *testing.T, e *sim.Engine[S], steps int) []stepRecord {
 	t.Helper()
 	var recs []stepRecord
-	e.SetHook(func(info sim.StepInfo) {
+	e.AddHook(func(info sim.StepInfo) {
 		recs = append(recs, stepRecord{
 			activated: append([]int(nil), info.Activated...),
 			rules:     append([]sim.Rule(nil), info.Rules...),

@@ -78,9 +78,7 @@ type Engine[S comparable] struct {
 	steps int
 	moves int
 
-	// Observer pipeline: hook is the deprecated single SetHook slot, hooks
-	// the AddHook fan-out (invoked in insertion order after the slot).
-	hook   Hook
+	// Observer pipeline: the AddHook fan-out, invoked in insertion order.
 	hooks  []hookEntry
 	nextID HookID
 
@@ -410,19 +408,9 @@ type hookEntry struct {
 	h  Hook
 }
 
-// SetHook installs a step observer in the legacy single-hook slot (nil
-// removes it). The slot holds at most one hook — a second SetHook silently
-// replaces the first, which is exactly the overwrite footgun AddHook
-// exists to fix.
-//
-// Deprecated: use AddHook/RemoveHook; observers then compose instead of
-// clobbering each other. SetHook is kept as a shim so existing call sites
-// keep their replace-semantics; the slot runs before the AddHook pipeline.
-func (e *Engine[S]) SetHook(h Hook) { e.hook = h }
-
 // AddHook appends h to the engine's observer pipeline and returns an id
 // for RemoveHook. Hooks run synchronously after each committed step, in
-// insertion order, after the legacy SetHook slot; every hook sees the same
+// insertion order; every hook sees the same
 // StepInfo (subject to the aliasing contract on Hook). Any number of
 // observers — traces, convergence measurement, guard accounting, service
 // adapters — can therefore watch one engine without conflicting.
@@ -450,12 +438,9 @@ func (e *Engine[S]) RemoveHook(id HookID) bool {
 	return false
 }
 
-// fireHooks runs the legacy slot and then the pipeline for one step, over
-// a snapshot of the registration list (see RemoveHook).
+// fireHooks runs the pipeline for one step, over a snapshot of the
+// registration list (see RemoveHook).
 func (e *Engine[S]) fireHooks(info StepInfo) {
-	if e.hook != nil {
-		e.hook(info)
-	}
 	for _, he := range e.hooks {
 		he.h(info)
 	}

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprinting is the identity currency of the harness: differential
+// tests hash configurations to prove backend/worker invariance, and the
+// campaign layer hashes resolved evaluation cells to key its resumable
+// checkpoint journal. Everything uses FNV-1a over a stable rendering, so
+// the same logical value fingerprints identically across processes and
+// runs.
+
+// Fingerprint64 hashes a byte rendering with FNV-1a.
+func Fingerprint64(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// FingerprintConfig hashes a configuration via its %v rendering — the
+// cross-construction identity the differential and invariance tests
+// compare across backends and worker counts.
+func FingerprintConfig[S comparable](c Config[S]) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", c)
+	return h.Sum64()
+}

@@ -22,8 +22,7 @@ func newHookEngine(t *testing.T) *sim.Engine[int] {
 func TestAddHookFanOut(t *testing.T) {
 	t.Parallel()
 	e := newHookEngine(t)
-	var a, b, legacy int
-	e.SetHook(func(sim.StepInfo) { legacy++ })
+	var a, b int
 	e.AddHook(func(sim.StepInfo) { a++ })
 	idB := e.AddHook(func(sim.StepInfo) { b++ })
 	for i := 0; i < 5; i++ {
@@ -31,8 +30,8 @@ func TestAddHookFanOut(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if a != 5 || b != 5 || legacy != 5 {
-		t.Fatalf("hook counts a=%d b=%d legacy=%d, want 5 each", a, b, legacy)
+	if a != 5 || b != 5 {
+		t.Fatalf("hook counts a=%d b=%d, want 5 each", a, b)
 	}
 	if !e.RemoveHook(idB) {
 		t.Fatal("RemoveHook did not find the registered hook")
@@ -48,17 +47,16 @@ func TestAddHookFanOut(t *testing.T) {
 	}
 }
 
-func TestAddHookOrderAndSetHookShim(t *testing.T) {
+func TestAddHookOrder(t *testing.T) {
 	t.Parallel()
 	e := newHookEngine(t)
 	var order []string
 	e.AddHook(func(sim.StepInfo) { order = append(order, "first") })
-	e.SetHook(func(sim.StepInfo) { order = append(order, "slot") })
 	e.AddHook(func(sim.StepInfo) { order = append(order, "second") })
 	if _, err := e.Step(); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"slot", "first", "second"}
+	want := []string{"first", "second"}
 	if len(order) != len(want) {
 		t.Fatalf("order %v, want %v", order, want)
 	}
@@ -66,16 +64,6 @@ func TestAddHookOrderAndSetHookShim(t *testing.T) {
 		if order[i] != want[i] {
 			t.Fatalf("order %v, want %v", order, want)
 		}
-	}
-	// The shim keeps replace semantics: nil clears the slot while the
-	// pipeline registrations stay attached.
-	e.SetHook(nil)
-	order = order[:0]
-	if _, err := e.Step(); err != nil {
-		t.Fatal(err)
-	}
-	if len(order) != 2 {
-		t.Fatalf("after SetHook(nil): %v, want only the two AddHook entries", order)
 	}
 }
 

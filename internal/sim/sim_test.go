@@ -104,7 +104,7 @@ func TestEngineHookSeesActivations(t *testing.T) {
 	p := &counterProtocol{n: 3, limit: 2}
 	e := MustEngine[int](p, firstOnly{}, Config[int]{0, 0, 0}, 1)
 	var activated []int
-	e.SetHook(func(info StepInfo) {
+	e.AddHook(func(info StepInfo) {
 		activated = append(activated, info.Activated...)
 		if len(info.Rules) != len(info.Activated) {
 			t.Error("rules/activated length mismatch")

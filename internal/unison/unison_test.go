@@ -152,7 +152,7 @@ func TestClosureOfGamma1(t *testing.T) {
 			}
 			e := sim.MustEngine[int](u, daemon.NewDistributed[int](0.5), c, int64(trial))
 			increments := make([]int, g.N())
-			e.SetHook(func(info sim.StepInfo) {
+			e.AddHook(func(info sim.StepInfo) {
 				for _, v := range info.Activated {
 					increments[v]++
 				}
