@@ -1,0 +1,89 @@
+// Command speclint machine-checks the repository's determinism and
+// capability contracts: the five analyzers of internal/lint (detmap,
+// wallclock, detrand, hookretain, capability — see DESIGN.md §10) over
+// the packages named on the command line, plus optionally the standard
+// `go vet` passes. The container pins no golang.org/x/tools, so the
+// curated extra passes (nilness, shadow, unusedwrite) are not available
+// offline; `-govet` runs the toolchain's built-in suite (copylocks,
+// loopclosure, printf, …) as the nearest gate.
+//
+// Exit status is non-zero on any unsuppressed diagnostic. Suppressions
+// are justified inline comments:
+//
+//	//speclint:ordered -- reduction is order-insensitive (max over values)
+//
+// Examples:
+//
+//	speclint ./...
+//	speclint -govet ./internal/sim ./internal/campaign
+//	speclint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"specstab/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "speclint:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags are parsed from args and
+// diagnostics written to out (the smoke tests drive it directly).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		list  = fs.Bool("list", false, "list the analyzers and exit")
+		govet = fs.Bool("govet", false, "additionally run the toolchain's go vet passes over the same patterns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(out, "%-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(out, "%-11s %s\n", "speclint", "framework checks: suppression directives must be known, justified and used")
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(pkgs, lint.Default(), lint.RunOptions{CheckUnused: true})
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+
+	if *govet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("go vet: %v", err)
+		}
+	}
+
+	if len(diags) > 0 {
+		return fmt.Errorf("%d diagnostic(s)", len(diags))
+	}
+	fmt.Fprintf(out, "speclint: %d package(s) clean\n", len(pkgs))
+	return nil
+}

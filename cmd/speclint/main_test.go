@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers smoke-tests the -list surface: every analyzer of the
+// suite (and the framework pseudo-analyzer) is advertised.
+func TestListAnalyzers(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"detmap", "wallclock", "detrand", "hookretain", "capability", "speclint"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestCleanPackageRun drives the real loader end-to-end over a small
+// deterministic package and expects a clean exit.
+func TestCleanPackageRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"specstab/internal/clock"}, &out); err != nil {
+		t.Fatalf("speclint specstab/internal/clock: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "package(s) clean") {
+		t.Errorf("expected clean summary, got:\n%s", out.String())
+	}
+}
+
+// TestBadPatternFails pins the failure mode: an unresolvable pattern is an
+// error, not a silent no-op.
+func TestBadPatternFails(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"specstab/internal/definitely-not-a-package"}, &out); err == nil {
+		t.Fatal("expected an error for a nonexistent package pattern")
+	}
+}

@@ -61,4 +61,12 @@
 // their runs through these layers; the experiments themselves are
 // campaign grids plus thin metric extractors, and scenario-built runs
 // are differential-tested to fingerprint identically to hand-built ones.
+//
+// The determinism and capability contracts above are machine-checked:
+// `go run ./cmd/speclint ./...` (internal/lint, DESIGN.md §10) statically
+// forbids unordered map iteration, wall-clock reads and global randomness
+// in deterministic packages, enforces the StepInfo aliasing contract on
+// hooks, and requires every Flat protocol to declare Local + RuleBounded
+// and every registered protocol to appear in the differential test
+// matrix. CI runs it on every push.
 package specstab

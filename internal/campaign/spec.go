@@ -238,6 +238,7 @@ func pointLabel(p Point) string {
 // labels and fingerprints never depend on map iteration order.
 func sortedPaths(set map[string]any) []string {
 	out := make([]string, 0, len(set))
+	//speclint:ordered -- keys are collected unordered and sorted on the next line
 	for k := range set {
 		out = append(out, k)
 	}
@@ -285,6 +286,7 @@ func deepCopy(v any) any {
 	switch t := v.(type) {
 	case map[string]any:
 		out := make(map[string]any, len(t))
+		//speclint:ordered -- map-to-map copy: per-key writes are independent of visit order
 		for k, val := range t {
 			out[k] = deepCopy(val)
 		}

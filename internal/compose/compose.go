@@ -104,6 +104,7 @@ func (p *Product[A, B]) internRule(ra, rb sim.Rule) sim.Rule {
 		index: make(map[[2]sim.Rule]sim.Rule, len(old.index)+1),
 		pairs: append(append([][2]sim.Rule(nil), old.pairs...), key),
 	}
+	//speclint:ordered -- map-to-map copy: per-key writes are independent of visit order
 	for k, v := range old.index {
 		next.index[k] = v
 	}

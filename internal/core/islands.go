@@ -138,6 +138,7 @@ func (p *Protocol) fillIslandMetrics(c sim.Config[int], isl *Island) {
 			}
 		}
 	}
+	//speclint:ordered -- max reduction over values: order-insensitive
 	for _, d := range dist {
 		if d > isl.Depth {
 			isl.Depth = d

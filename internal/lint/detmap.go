@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMap flags `range` over a map in deterministic packages. Go randomizes
+// map iteration order per run, so any map range whose effect depends on
+// visit order breaks the bitwise-reproducibility contract of DESIGN.md §7
+// — exactly the class of bug the differential tests can only catch after
+// the fact. Sort the keys first, keep the set slice-backed, or — when the
+// body is genuinely order-insensitive (pure reduction into an
+// order-independent accumulator, independent per-key writes) — annotate:
+//
+//	//speclint:ordered -- <why the result does not depend on visit order>
+var DetMap = &Analyzer{
+	Name:      "detmap",
+	Directive: "ordered",
+	Doc: "flag range-over-map in deterministic packages: iteration order is randomized per run, " +
+		"so unsorted map ranges are a determinism hazard; sort keys, use a slice-backed set, or " +
+		"annotate order-insensitive reductions with //speclint:ordered -- <justification>",
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	if !pass.Policy.Deterministic[pass.Pkg.Path] {
+		return nil
+	}
+	pass.inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Reportf(rs.For, "range over map %s in deterministic package %s: iteration order is randomized; sort the keys, use a slice-backed set, or annotate //speclint:ordered -- <why>",
+				types.TypeString(t, types.RelativeTo(pass.Pkg.Types)), pass.Pkg.Name)
+		}
+		return true
+	})
+	return nil
+}

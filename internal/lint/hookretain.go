@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HookRetain enforces the sim.Hook aliasing contract (PR 4): the
+// StepInfo.Activated and StepInfo.Rules slices handed to an AddHook
+// callback are owned by the engine and reused between steps, so a hook
+// that retains them — stores into captured variables, struct fields or
+// globals, sends on a channel, appends the slice header, or hands them to
+// a goroutine — observes silent corruption one step later. Retention is
+// legal only through StepInfo.Clone().
+//
+// The analysis is a forward taint pass over each func-literal hook:
+// the parameter and its slice fields taint locals they are assigned to;
+// a tainted value escaping the invocation is a diagnostic. Values passed
+// to ordinary function calls are not tracked (a helper that retains its
+// argument needs its own audit); appending with ... copies elements and is
+// safe, `info.Clone()` launders the taint by design.
+var HookRetain = &Analyzer{
+	Name:      "hookretain",
+	Directive: "retain",
+	Doc: "an AddHook callback may not store the StepInfo or its Activated/Rules slices into " +
+		"fields, globals, captured variables or channels, nor hand them to a goroutine, without " +
+		"taking StepInfo.Clone() first: the engine reuses those slices between steps",
+	Run: runHookRetain,
+}
+
+func runHookRetain(pass *Pass) error {
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AddHook" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		param := hookParam(pass, lit)
+		if param == nil {
+			return true
+		}
+		checkHookBody(pass, lit, param)
+		return true
+	})
+	return nil
+}
+
+// hookParam returns the func literal's single StepInfo parameter object,
+// or nil when the literal is not a step hook (or discards the info as _).
+func hookParam(pass *Pass, lit *ast.FuncLit) types.Object {
+	params := lit.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return nil
+	}
+	t := pass.Pkg.Info.TypeOf(params.List[0].Type)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "StepInfo" {
+		return nil
+	}
+	return pass.Pkg.Info.Defs[params.List[0].Names[0]]
+}
+
+// hookChecker carries one taint pass over one hook body.
+type hookChecker struct {
+	pass    *Pass
+	lit     *ast.FuncLit
+	param   types.Object
+	tainted map[types.Object]bool
+}
+
+func checkHookBody(pass *Pass, lit *ast.FuncLit, param types.Object) {
+	hc := &hookChecker{pass: pass, lit: lit, param: param, tainted: map[types.Object]bool{}}
+	ast.Inspect(lit.Body, hc.visit)
+}
+
+func (hc *hookChecker) visit(n ast.Node) bool {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			} else {
+				rhs = s.Rhs[0] // tuple-valued call: taint rules make calls clean
+			}
+			if !hc.taintedExpr(rhs) {
+				continue
+			}
+			hc.flagStore(lhs, s.Pos())
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && hc.taintedExpr(vs.Values[i]) {
+						hc.tainted[hc.pass.Pkg.Info.Defs[name]] = true
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if hc.taintedExpr(s.Value) {
+			hc.pass.Reportf(s.Pos(), "hook sends engine-owned StepInfo data on a channel: the receiver outlives the invocation; send info.Clone() (or a copied slice) instead")
+		}
+	case *ast.GoStmt:
+		if hc.referencesTaint(s.Call) {
+			hc.pass.Reportf(s.Pos(), "hook starts a goroutine over engine-owned StepInfo data: the goroutine outlives the invocation; capture info.Clone() instead")
+		}
+		return false
+	}
+	return true
+}
+
+// flagStore reports a tainted value stored through lhs, or records the
+// taint when lhs is a variable local to the hook body.
+func (hc *hookChecker) flagStore(lhs ast.Expr, pos token.Pos) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := hc.pass.Pkg.Info.Defs[l]
+		if obj == nil {
+			obj = hc.pass.Pkg.Info.Uses[l]
+		}
+		if obj != nil && hc.localToHook(obj) {
+			hc.tainted[obj] = true
+			return
+		}
+		hc.pass.Reportf(pos, "hook stores engine-owned StepInfo data into %s, which outlives the invocation: the engine reuses Activated/Rules between steps; take info.Clone() first", l.Name)
+	default:
+		// Field, index or pointer store: escapes the invocation.
+		hc.pass.Reportf(pos, "hook stores engine-owned StepInfo data through a field/index/pointer, which outlives the invocation: take info.Clone() first")
+	}
+}
+
+// localToHook reports whether obj is declared inside the hook literal.
+func (hc *hookChecker) localToHook(obj types.Object) bool {
+	return obj.Pos() >= hc.lit.Pos() && obj.Pos() <= hc.lit.End()
+}
+
+// taintedExpr reports whether evaluating e yields a value aliasing the
+// engine-owned StepInfo (the parameter itself, its slice fields, a
+// tainted local, or a derivation that preserves aliasing).
+func (hc *hookChecker) taintedExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := hc.pass.Pkg.Info.Uses[x]
+		return obj != nil && (obj == hc.param || hc.tainted[obj])
+	case *ast.SelectorExpr:
+		// info.Step is a scalar copy; Activated/Rules (and any selector on
+		// a tainted composite) keep the aliasing.
+		return hc.taintedExpr(x.X) && x.Sel.Name != "Step"
+	case *ast.CallExpr:
+		return hc.taintedCall(x)
+	case *ast.SliceExpr:
+		return hc.taintedExpr(x.X) // reslicing shares the array
+	case *ast.IndexExpr:
+		return false // element reads copy scalars
+	case *ast.UnaryExpr:
+		return hc.taintedExpr(x.X)
+	case *ast.StarExpr:
+		return hc.taintedExpr(x.X)
+	case *ast.ParenExpr:
+		return hc.taintedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return hc.taintedExpr(x.X)
+	case *ast.KeyValueExpr:
+		return hc.taintedExpr(x.Value)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if hc.taintedExpr(el) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// taintedCall classifies call results: Clone() launders by design,
+// len/cap read scalars, append retains the slice header it is given (but
+// an ...-spread copies elements); every other call is treated as clean —
+// helpers that retain their arguments need their own audit.
+func (hc *hookChecker) taintedCall(call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); ok {
+		switch fn.Name {
+		case "len", "cap":
+			return false
+		case "append":
+			if hc.taintedExpr(call.Args[0]) {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if hc.taintedExpr(arg) && call.Ellipsis == token.NoPos {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// referencesTaint reports whether any identifier under n resolves to the
+// parameter or a tainted local.
+func (hc *hookChecker) referencesTaint(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := hc.pass.Pkg.Info.Uses[id]; obj != nil && (obj == hc.param || hc.tainted[obj]) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,227 @@
+// Package lint is the repository's determinism- and capability-contract
+// checker: a small go/analysis-style framework (stdlib only — the
+// container has no golang.org/x/tools) plus the five speclint analyzers
+// that machine-check the contracts DESIGN.md states in prose:
+//
+//   - detmap     — no map iteration in deterministic packages (§7)
+//   - wallclock  — no wall-clock reads outside the allowlist
+//   - detrand    — randomness flows from seeds, never global sources
+//   - hookretain — the StepInfo aliasing contract of sim.Hook (§8)
+//   - capability — Flat protocols declare Local + RuleBounded, and every
+//     registered protocol appears in the differential test matrix (§6, §8)
+//
+// Packages are loaded with `go list -export -deps -json`: dependencies are
+// imported from compiler export data (fast, no network), only the audited
+// packages themselves are parsed and type-checked from source. Policy —
+// which packages are deterministic, which files may read the wall clock —
+// lives in policy.go; the suppression grammar is
+//
+//	//speclint:<directive> -- <justification>
+//
+// on the flagged line or the line directly above it. A directive without a
+// justification, or one that no diagnostic uses, is itself a diagnostic.
+// See DESIGN.md §10 and `go run ./cmd/speclint -list`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is the one-paragraph description -list prints.
+	Doc string
+	// Directive is the suppression directive consumed by this analyzer
+	// (e.g. "ordered" for detmap); empty means unsuppressable.
+	Directive string
+	// Run reports this analyzer's findings on pass.Pkg via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the file:line:col style of go vet.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Policy   *Policy
+	Pkg      *Package
+
+	diags *[]Diagnostic
+	supp  *suppressions
+}
+
+// Reportf records a diagnostic at pos unless a matching suppression
+// directive covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.supp != nil && p.Analyzer.Directive != "" && p.supp.covers(position, p.Analyzer.Directive) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunOptions configures a suite run.
+type RunOptions struct {
+	// Analyzers is the suite to run; nil means All().
+	Analyzers []*Analyzer
+	// CheckUnused reports suppression directives no analyzer consumed.
+	// Enable only when running the full suite — a directive is "used" the
+	// moment its analyzer suppresses through it.
+	CheckUnused bool
+}
+
+// Run executes the analyzers over every package and returns all
+// diagnostics, sorted by position. Framework-level findings (malformed or
+// unused suppressions) are attributed to the pseudo-analyzer "speclint".
+func Run(pkgs []*Package, pol *Policy, opts RunOptions) ([]Diagnostic, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("lint: %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		supp := collectSuppressions(pkg, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Policy: pol, Pkg: pkg, diags: &diags, supp: supp}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		if opts.CheckUnused {
+			supp.reportUnused(&diags)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// directiveNames are the recognized suppression directives, each owned by
+// exactly one analyzer.
+var directiveNames = map[string]bool{
+	"ordered":    true, // detmap
+	"wallclock":  true, // wallclock
+	"rand":       true, // detrand
+	"retain":     true, // hookretain
+	"capability": true, // capability
+}
+
+// directive is one parsed //speclint: comment.
+type directive struct {
+	name          string
+	justification string
+	pos           token.Position
+	used          bool
+}
+
+// suppressions indexes a package's directives by file and line.
+type suppressions struct {
+	byLine map[string]map[int]*directive // filename → line → directive
+	all    []*directive
+}
+
+// collectSuppressions parses every //speclint: comment of the package,
+// reporting malformed ones (unknown directive, missing justification)
+// directly into diags.
+func collectSuppressions(pkg *Package, diags *[]Diagnostic) *suppressions {
+	s := &suppressions{byLine: map[string]map[int]*directive{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//speclint:")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, just, _ := strings.Cut(text, "--")
+				name = strings.TrimSpace(name)
+				just = strings.TrimSpace(just)
+				d := &directive{name: name, justification: just, pos: pos}
+				switch {
+				case !directiveNames[name]:
+					*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "speclint",
+						Message: fmt.Sprintf("unknown speclint directive %q", name)})
+					continue
+				case just == "":
+					*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "speclint",
+						Message: fmt.Sprintf("speclint:%s suppression needs a justification: //speclint:%s -- <why>", name, name)})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]*directive{}
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+				s.all = append(s.all, d)
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether a directive named name sits on pos's line or the
+// line directly above, marking it used.
+func (s *suppressions) covers(pos token.Position, name string) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if d := lines[l]; d != nil && d.name == name {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnused flags directives that suppressed nothing — stale
+// annotations that would otherwise silently rot.
+func (s *suppressions) reportUnused(diags *[]Diagnostic) {
+	for _, d := range s.all {
+		if !d.used {
+			*diags = append(*diags, Diagnostic{Pos: d.pos, Analyzer: "speclint",
+				Message: fmt.Sprintf("unused speclint:%s suppression (no diagnostic on this or the next line)", d.name)})
+		}
+	}
+}
+
+// inspect walks every file of the pass's package in source order, calling
+// f on each node; returning false prunes the subtree.
+func (p *Pass) inspect(f func(ast.Node) bool) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, f)
+	}
+}

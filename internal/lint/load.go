@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked analysis target.
+type Package struct {
+	// Path is the import path (e.g. "specstab/internal/sim").
+	Path string
+	// Name is the package name.
+	Name string
+	// Dir is the package directory on disk.
+	Dir string
+	// RelDir is Dir relative to the module root ("" for the root package) —
+	// the key the policy allowlists use, independent of checkout location.
+	RelDir string
+	// Fset is the file set shared by every package of one Load.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files (with comments).
+	Files []*ast.File
+	// TestFiles are the package's *_test.go files, parsed for syntax only
+	// (not type-checked) — the capability analyzer reads the test matrix
+	// from them.
+	TestFiles []*ast.File
+	// Types and Info hold the type-checked package.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking failures; analyzers require an
+	// error-free package.
+	TypeErrors []error
+}
+
+// RelFile returns pos's filename relative to the module root — the form
+// the policy's file allowlists and diagnostics-stable tests use.
+func (p *Package) RelFile(pos token.Position) string {
+	if p.RelDir == "" {
+		return filepath.Base(pos.Filename)
+	}
+	return filepath.ToSlash(filepath.Join(p.RelDir, filepath.Base(pos.Filename)))
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	Module       *struct{ Dir string }
+}
+
+// goList runs `go list -deps -export -json` over patterns in dir (""
+// meaning the current directory) and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,XTestGoFiles,Export,Standard,DepOnly,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var lps []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		lps = append(lps, &lp)
+	}
+	return lps, nil
+}
+
+// Load resolves patterns (in dir, "" meaning the current directory) with
+// the go tool, imports all dependencies from compiler export data, and
+// parses + type-checks each matched package from source. The go toolchain
+// is required; no network access is.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	lps, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPackage
+	for _, lp := range lps {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns an importer resolving every import path through
+// the export-data files go list reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// checkPackage parses lp's source files and type-checks them against the
+// export-data importer.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	pkg := &Package{Path: lp.ImportPath, Name: lp.Name, Dir: lp.Dir, Fset: fset}
+	if lp.Module != nil && lp.Module.Dir != "" {
+		rel, err := filepath.Rel(lp.Module.Dir, lp.Dir)
+		if err == nil && rel != "." {
+			pkg.RelDir = filepath.ToSlash(rel)
+		}
+	}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	for _, name := range append(append([]string{}, lp.TestGoFiles...), lp.XTestGoFiles...) {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		pkg.TestFiles = append(pkg.TestFiles, f)
+	}
+	pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, imp, lp.ImportPath, pkg.Files)
+	return pkg, nil
+}
+
+// typeCheck runs go/types over files with soft error collection.
+func typeCheck(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	return tpkg, info, errs
+}

@@ -1,0 +1,80 @@
+package lint
+
+// Policy is the repository's audit configuration: which packages carry the
+// determinism contract, and which sites are allowed to touch wall-clock
+// time. Tests substitute small policies; everything else uses Default.
+//
+// Adding a new deterministic package (DESIGN.md §10): append its import
+// path to deterministicPkgs — nothing else. The wallclock analyzer audits
+// every package of the module, so a new package is covered there the
+// moment it exists; exemptions must be claimed here, loudly, not inline.
+type Policy struct {
+	// Deterministic marks the packages whose executions must be bitwise
+	// reproducible across backends, worker counts and runs: detmap and
+	// detrand apply only here.
+	Deterministic map[string]bool
+	// WallclockExemptPkgs lists whole packages whose business is real
+	// time (the asynchronous network runtime, its example driver).
+	WallclockExemptPkgs map[string]bool
+	// WallclockExemptFiles lists module-relative files with sanctioned
+	// wall-clock reads (experiment timing columns). Bench and test files
+	// are outside the audit entirely — speclint analyzes non-test
+	// sources.
+	WallclockExemptFiles map[string]bool
+	// RegistryPkg is the package whose protocol registry the capability
+	// analyzer cross-checks against the differential test matrix.
+	RegistryPkg string
+}
+
+// Default returns the repository policy.
+func Default() *Policy {
+	return &Policy{
+		Deterministic: set(
+			// The engine and its execution layers (DESIGN.md §6–§9).
+			"specstab/internal/sim",
+			"specstab/internal/daemon",
+			"specstab/internal/scenario",
+			"specstab/internal/campaign",
+			"specstab/internal/service",
+			"specstab/internal/graph",
+			// The protocol packages and their composition.
+			"specstab/internal/core",
+			"specstab/internal/unison",
+			"specstab/internal/dijkstra",
+			"specstab/internal/bfstree",
+			"specstab/internal/matching",
+			"specstab/internal/lexclusion",
+			"specstab/internal/compose",
+			// Deterministic supporting layers: clock arithmetic, the
+			// formal spec/check machinery, fault injection, measurement.
+			"specstab/internal/clock",
+			"specstab/internal/spec",
+			"specstab/internal/check",
+			"specstab/internal/faults",
+			"specstab/internal/speculation",
+			"specstab/internal/stats",
+			"specstab/internal/trace",
+			"specstab/internal/experiments",
+		),
+		WallclockExemptPkgs: set(
+			// The concurrent runtime schedules real goroutines against
+			// real time; wall-clock is its subject matter, not a leak.
+			"specstab/internal/concurrent",
+			// examples/resource drives that runtime interactively.
+			"specstab/examples/resource",
+		),
+		WallclockExemptFiles: set(
+			// E12's wall-clock throughput columns: timing is the payload.
+			"internal/experiments/e12_scaling.go",
+		),
+		RegistryPkg: "specstab/internal/scenario",
+	}
+}
+
+func set(keys ...string) map[string]bool {
+	m := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}

@@ -1,0 +1,16 @@
+package lint
+
+// All returns the speclint suite in presentation order.
+func All() []*Analyzer {
+	return []*Analyzer{DetMap, Wallclock, DetRand, HookRetain, Capability}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Package capability seeds the protocol capability contract: a type with
+// the Protocol surface (EnabledRule + Apply) that provides the Flat
+// capability — packed kernels or a Flat() provider hook — must also
+// declare Local (Neighbors or a Local() provider) and RuleBounded
+// (MaxRule).
+package capability
+
+// GoodProto carries the full packed-kernel surface: no diagnostics.
+type GoodProto struct{}
+
+func (GoodProto) EnabledRule(c []int, v int) (int, bool)        { return 0, false }
+func (GoodProto) Apply(c []int, v, r int) []int                 { return c }
+func (GoodProto) FlatWords() int                                { return 1 }
+func (GoodProto) EnabledRuleFlat(w []uint64, v int) (int, bool) { return 0, false }
+func (GoodProto) ApplyFlat(w []uint64, v, r int)                {}
+func (GoodProto) Neighbors(v int) []int                         { return nil }
+func (GoodProto) MaxRule() int                                  { return 1 }
+
+// BadProto provides the packed kernels but neither capability. Both
+// diagnostics land on the type declaration.
+type BadProto struct{} // want "provides the Flat capability but not Local" "provides the Flat capability but not RuleBounded"
+
+func (BadProto) EnabledRule(c []int, v int) (int, bool)        { return 0, false }
+func (BadProto) Apply(c []int, v, r int) []int                 { return c }
+func (BadProto) FlatWords() int                                { return 1 }
+func (BadProto) EnabledRuleFlat(w []uint64, v int) (int, bool) { return 0, false }
+func (BadProto) ApplyFlat(w []uint64, v, r int)                {}
+
+// ProviderProto advertises Flat via the provider hook and carries both
+// capabilities through providers: no diagnostics.
+type ProviderProto struct{}
+
+func (ProviderProto) EnabledRule(c []int, v int) (int, bool) { return 0, false }
+func (ProviderProto) Apply(c []int, v, r int) []int          { return c }
+func (ProviderProto) Flat() any                              { return codecOnly{} }
+func (ProviderProto) Local() any                             { return nil }
+func (ProviderProto) MaxRule() int                           { return 2 }
+
+// HalfProto has the read-sets (Neighbors) but no rule bound.
+type HalfProto struct{} // want "provides the Flat capability but not RuleBounded"
+
+func (HalfProto) EnabledRule(c []int, v int) (int, bool) { return 0, false }
+func (HalfProto) Apply(c []int, v, r int) []int          { return c }
+func (HalfProto) Flat() any                              { return codecOnly{} }
+func (HalfProto) Neighbors(v int) []int                  { return nil }
+
+// codecOnly is a packed-kernel helper a Flat() provider returns — it has
+// no Protocol surface, so the contract does not bind it: no diagnostics.
+type codecOnly struct{}
+
+func (codecOnly) FlatWords() int                                { return 1 }
+func (codecOnly) EnabledRuleFlat(w []uint64, v int) (int, bool) { return 0, false }
+func (codecOnly) ApplyFlat(w []uint64, v, r int)                {}
+
+// LocalOnlyProto never claims Flat: no diagnostics.
+type LocalOnlyProto struct{}
+
+func (LocalOnlyProto) EnabledRule(c []int, v int) (int, bool) { return 0, false }
+func (LocalOnlyProto) Apply(c []int, v, r int) []int          { return c }
+
+// Interfaces describe capabilities, they do not carry them: no
+// diagnostics.
+type Protocol interface {
+	EnabledRule(c []int, v int) (int, bool)
+	Apply(c []int, v, r int) []int
+	FlatWords() int
+}
+
+// The directive on the preceding line silences both findings at once.
+//
+//speclint:capability -- golden: legacy kernel kept only for comparison benchmarks
+type SuppressedProto struct{}
+
+func (SuppressedProto) EnabledRule(c []int, v int) (int, bool)        { return 0, false }
+func (SuppressedProto) Apply(c []int, v, r int) []int                 { return c }
+func (SuppressedProto) FlatWords() int                                { return 1 }
+func (SuppressedProto) EnabledRuleFlat(w []uint64, v int) (int, bool) { return 0, false }
+func (SuppressedProto) ApplyFlat(w []uint64, v, r int)                {}

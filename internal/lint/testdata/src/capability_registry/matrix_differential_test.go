@@ -1,0 +1,7 @@
+package capability_registry
+
+// The miniature differential matrix: "alpha" is exercised, "beta" is
+// deliberately missing so the analyzer fires on its registry entry.
+var matrixCases = []string{
+	"alpha",
+}

@@ -1,0 +1,20 @@
+// Package capability_registry seeds the registry/test-matrix coupling:
+// every protocol registered in the protocolRegistry literal must appear as
+// a string literal in a differential/conformance test file of the same
+// package. "alpha" is covered by matrix_differential_test.go; "beta" is
+// not.
+package capability_registry
+
+type entry struct {
+	name  string
+	build func() any
+}
+
+var protocolRegistry []entry
+
+func init() {
+	protocolRegistry = []entry{
+		{name: "alpha", build: func() any { return nil }},
+		{name: "beta", build: func() any { return nil }}, // want "registered but absent from the differential/conformance test matrix"
+	}
+}

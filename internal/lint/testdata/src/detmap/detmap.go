@@ -1,0 +1,51 @@
+// Package detmap seeds the violations and negatives for the detmap
+// analyzer: unordered map ranges are flagged, slice ranges and annotated
+// order-insensitive reductions are not.
+package detmap
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// Named map types are still maps underneath.
+type table map[int]int
+
+func keys(t table) []int {
+	var ks []int
+	for k := range t { // want "range over map"
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Slice ranges are deterministic: no diagnostic.
+func sumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Order-insensitive reduction, suppressed on the line above.
+func copyInto(dst, src map[int]int) {
+	//speclint:ordered -- map-to-map copy: per-key writes are independent of visit order
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// The directive also covers its own line when trailing.
+func maxValue(m map[int]int) int {
+	best := 0
+	for _, v := range m { //speclint:ordered -- max reduction: order-insensitive
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,30 @@
+// Package detrand seeds the violations and negatives for the detrand
+// analyzer: global math/rand draws are flagged, explicitly seeded
+// *rand.Rand generators are the approved pattern.
+package detrand
+
+import (
+	mrand "math/rand"
+)
+
+func draw() int {
+	return mrand.Intn(10) // want "global rand.Intn"
+}
+
+func shuffle(xs []int) {
+	mrand.Shuffle(len(xs), func(i, j int) { // want "global rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// An explicit generator seeded from a scenario seed is exactly how
+// randomness is supposed to flow: no diagnostics.
+func drawSeeded(seed int64) int {
+	rng := mrand.New(mrand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func suppressedDraw() int {
+	//speclint:rand -- golden: demonstrating the suppression path
+	return mrand.Int()
+}

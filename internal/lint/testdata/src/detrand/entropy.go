@@ -1,0 +1,9 @@
+package detrand
+
+import (
+	crand "crypto/rand" // want "crypto/rand imported in deterministic package"
+)
+
+func entropy(buf []byte) {
+	crand.Read(buf)
+}

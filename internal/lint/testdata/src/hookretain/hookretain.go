@@ -1,0 +1,118 @@
+// Package hookretain seeds every escape class the hookretain analyzer
+// flags — global stores, appends, field stores, channel sends, goroutines,
+// taint through locals — and the laundering patterns it must stay quiet
+// on: Clone(), element reads, ...-spread copies.
+package hookretain
+
+import "sim"
+
+var (
+	retainedInfos     []sim.StepInfo
+	retainedActivated []int
+	retainedRules     []sim.Rule
+	sizes             []int
+	lastStep          int
+)
+
+type recorder struct {
+	steps [][]int
+	last  sim.StepInfo
+}
+
+func badGlobalStore(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		retainedActivated = info.Activated // want "stores engine-owned StepInfo data into retainedActivated"
+	})
+}
+
+func badGlobalAppend(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		retainedInfos = append(retainedInfos, info) // want "stores engine-owned StepInfo data into retainedInfos"
+	})
+}
+
+func badFieldStore(e *sim.Engine, r *recorder) {
+	e.AddHook(func(info sim.StepInfo) {
+		r.last = info // want "through a field/index/pointer"
+	})
+}
+
+func badFieldAppend(e *sim.Engine, r *recorder) {
+	e.AddHook(func(info sim.StepInfo) {
+		r.steps = append(r.steps, info.Activated) // want "through a field/index/pointer"
+	})
+}
+
+func badSend(e *sim.Engine, ch chan []int) {
+	e.AddHook(func(info sim.StepInfo) {
+		ch <- info.Activated // want "sends engine-owned StepInfo data on a channel"
+	})
+}
+
+func record(si sim.StepInfo) {}
+
+func badGoroutine(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		go record(info) // want "starts a goroutine over engine-owned StepInfo data"
+	})
+}
+
+// Taint propagates through locals: the alias is legal, its escape is not.
+func badLocalLaunder(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		acts := info.Activated
+		retainedActivated = acts // want "stores engine-owned StepInfo data into retainedActivated"
+	})
+}
+
+func badDeclLaunder(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		var alias = info.Rules
+		retainedRules = alias // want "stores engine-owned StepInfo data into retainedRules"
+	})
+}
+
+// Clone() launders by design: no diagnostics.
+func goodClone(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		retainedInfos = append(retainedInfos, info.Clone())
+	})
+}
+
+// Scalar reads (info.Step, len, element ranges) copy values: no
+// diagnostics.
+func goodScalars(e *sim.Engine, counts map[int]int) {
+	e.AddHook(func(info sim.StepInfo) {
+		lastStep = info.Step
+		sizes = append(sizes, len(info.Activated))
+		for _, v := range info.Activated {
+			counts[v]++
+		}
+	})
+}
+
+// append(dst[:0], src...) copies elements — the standard snapshot idiom.
+func goodEllipsisCopy(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		retainedActivated = append(retainedActivated[:0], info.Activated...)
+	})
+}
+
+func suppressedRetention(e *sim.Engine) {
+	e.AddHook(func(info sim.StepInfo) {
+		//speclint:retain -- golden: deliberate retention to exercise the directive
+		retainedActivated = info.Activated
+	})
+}
+
+// AddHook on an unrelated type with a non-StepInfo callback is out of
+// scope: no diagnostics.
+type bus struct{ hooks []func(int) }
+
+func (b *bus) AddHook(h func(int)) { b.hooks = append(b.hooks, h) }
+
+func otherAddHook(b *bus) {
+	b.AddHook(func(n int) {
+		retainedActivated = append(retainedActivated, n)
+	})
+}

@@ -1,0 +1,34 @@
+// Package sim is a miniature of specstab/internal/sim for the hookretain
+// golden tests: just the Hook surface and the StepInfo aliasing contract
+// the analyzer inspects.
+package sim
+
+type Rule struct {
+	Vertex int
+	Rule   int
+}
+
+// StepInfo is handed to hooks; Activated and Rules are engine-owned and
+// reused between steps.
+type StepInfo struct {
+	Step      int
+	Activated []int
+	Rules     []Rule
+}
+
+// Clone deep-copies the engine-owned slices; retention is legal only
+// through it.
+func (si StepInfo) Clone() StepInfo {
+	out := si
+	out.Activated = append([]int(nil), si.Activated...)
+	out.Rules = append([]Rule(nil), si.Rules...)
+	return out
+}
+
+type Engine struct {
+	hooks []func(StepInfo)
+}
+
+func (e *Engine) AddHook(h func(StepInfo)) {
+	e.hooks = append(e.hooks, h)
+}

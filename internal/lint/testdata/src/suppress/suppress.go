@@ -1,0 +1,25 @@
+// Package suppress golden-tests the speclint directive grammar itself:
+// unknown directives, missing justifications and unused suppressions are
+// framework diagnostics attributed to the "speclint" pseudo-analyzer.
+package suppress
+
+//speclint:frobnicate -- no such directive
+// want(-1) "unknown speclint directive \"frobnicate\""
+
+//speclint:ordered
+// want(-1) "speclint:ordered suppression needs a justification"
+
+func unusedDirective() int {
+	//speclint:rand -- nothing on this or the next line draws randomness
+	// want(-1) "unused speclint:rand suppression"
+	return 0
+}
+
+// A consumed directive is not unused: the map range below is suppressed
+// and the directive produces no diagnostic of its own.
+func usedDirective(dst, src map[int]int) {
+	//speclint:ordered -- map-to-map copy: per-key writes are independent of visit order
+	for k, v := range src {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,13 @@
+package wallclock
+
+import "time"
+
+// This file is allowlisted by the test's policy (WallclockExemptFiles),
+// mirroring the e12 timing columns: no diagnostics despite the reads.
+func wallTimestamp() time.Time {
+	return time.Now()
+}
+
+func wallElapsed(since time.Time) time.Duration {
+	return time.Since(since)
+}

@@ -1,0 +1,24 @@
+// Package wallclock seeds wall-clock reads for the wallclock analyzer:
+// time.Now/time.Sleep are flagged, Duration arithmetic is not, and the
+// directive plus the file allowlist both silence the check.
+package wallclock
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func pause() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// Duration arithmetic and constants never observe real time: no diagnostic.
+func budget(d time.Duration) time.Duration {
+	return d + 5*time.Second
+}
+
+func suppressed() time.Time {
+	//speclint:wallclock -- golden: timing is the payload in this helper
+	return time.Now()
+}

@@ -1,0 +1,40 @@
+package specstab_test
+
+// The speclint gate: the whole module must lint clean under the default
+// policy, and the suite must stay fast enough to sit in CI and pre-commit
+// loops. This is the in-tree equivalent of `go run ./cmd/speclint ./...`
+// exiting 0 — reintroducing a map range into internal/sim or a time.Now
+// into internal/campaign fails this test (and CI) immediately.
+
+import (
+	"testing"
+	"time"
+
+	"specstab/internal/lint"
+)
+
+const speclintBudget = 60 * time.Second
+
+func TestSpeclintTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speclint gate loads and type-checks the whole module")
+	}
+	start := time.Now()
+	pkgs, err := lint.Load("", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, lint.Default(), lint.RunOptions{CheckUnused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("speclint: %s", d)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("speclint loaded no packages — the gate is vacuous")
+	}
+	if elapsed := time.Since(start); elapsed > speclintBudget {
+		t.Errorf("speclint over the whole tree took %v, over the %v budget: analyzer cost has regressed", elapsed, speclintBudget)
+	}
+}
