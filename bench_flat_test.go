@@ -27,12 +27,12 @@ import (
 // ringUnison builds unison with the paper's safe parameters on a ring —
 // from the uniform-0 configuration every vertex fires NA forever, the
 // full-width steady state that makes step costs comparable across b.N.
-func ringUnison(b *testing.B, n int) (*unison.Protocol, sim.Config[int]) {
-	b.Helper()
+func ringUnison(tb testing.TB, n int) (*unison.Protocol, sim.Config[int]) {
+	tb.Helper()
 	g := graph.Ring(n)
 	p, err := unison.New(g, unison.SafeParams(g))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return p, make(sim.Config[int], n)
 }

@@ -12,7 +12,7 @@ func TestListAnalyzers(t *testing.T) {
 	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"detmap", "wallclock", "detrand", "hookretain", "capability", "speclint"} {
+	for _, name := range []string{"detmap", "wallclock", "detrand", "hookretain", "capability", "goroutine", "speclint"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"specstab/internal/scenario"
+	"specstab/internal/sim"
 	"specstab/internal/stats"
 )
 
@@ -146,8 +147,14 @@ func (c *Campaign) Run(opts RunOptions) (*Result, error) {
 	}
 
 	res := &Result{Columns: columns, Table: table, Resumed: resumed}
+	// One persistent shard pool shared by every cell×trial engine of the
+	// sweep: the engines' parallel phases reuse the same worker
+	// goroutines instead of starting a pool per engine. Pools never
+	// change executions, so resumed and fresh cells stay comparable.
+	shared := sim.NewPool(0)
+	defer shared.Close()
 	run := func(cell, trial int) ([]float64, error) {
-		vals, err := c.runTrial(cells[cell], trial, metrics, opts.Engine)
+		vals, err := c.runTrial(cells[cell], trial, metrics, opts.Engine, shared)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: cell %s trial %d: %w", cellName(cells[cell].Labels), trial, err)
 		}
@@ -212,12 +219,15 @@ func (c *Campaign) Run(opts RunOptions) (*Result, error) {
 }
 
 // runTrial builds and executes one cell trial and extracts the metrics.
-func (c *Campaign) runTrial(cell Cell, trial int, metrics []*metricEntry, engine *scenario.EngineSpec) ([]float64, error) {
+func (c *Campaign) runTrial(cell Cell, trial int, metrics []*metricEntry, engine *scenario.EngineSpec, pool *sim.Pool) ([]float64, error) {
 	sc := *cell.Scenario
 	sc.Seed += int64(trial) * c.seedStride()
 	if engine != nil {
 		sc.Engine = *engine
 	}
+	// Cells are expanded by JSON re-decode, so the runtime pool handle is
+	// injected here, after the engine override — it cannot ride the spec.
+	sc.Engine.Pool = pool
 	r, err := scenario.Build(&sc)
 	if err != nil {
 		return nil, err

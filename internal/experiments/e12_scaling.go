@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"specstab/internal/bfstree"
@@ -115,7 +116,109 @@ func E12Scaling(cfg RunConfig) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []*stats.Table{table, backends, compositions}, nil
+	parallel, err := e12ParallelTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{table, backends, compositions, parallel}, nil
+}
+
+// workerSweep is the ISSUE 7 worker grid {1, 2, 4, GOMAXPROCS},
+// deduplicated and ascending (on a 4-core host GOMAXPROCS collapses into
+// the 4 column; on one core the sweep still runs as a determinism check).
+func workerSweep() []int {
+	sweep := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range sweep {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// e12ParallelTable measures the multi-core tentpole: the same seeded
+// synchronous execution on the flat backend driven once per worker count,
+// each through its own persistent shard pool (reused across every step of
+// the run — the pool is started once and its barrier cycled per sharded
+// phase, never respawned). steps/sec and moves/sec are the throughput
+// payload; the fingerprint column asserts the tentpole invariant that
+// every worker count replays the Workers=1 execution bit for bit.
+func e12ParallelTable(cfg RunConfig) (*stats.Table, error) {
+	steps := cfg.pick(30, 60)
+	sizes := []int{4096}
+	if !cfg.Quick {
+		sizes = []int{65536, 262144, 1048576}
+	}
+	workers := workerSweep()
+
+	table := stats.NewTable(
+		"E12d — shard-parallel flat backend under sd: steps/sec and moves/sec vs worker count",
+		"graph", "n", "workers", "steps", "ns/step", "steps/s", "moves/s", "speedup ×", "consistent",
+	)
+	var rows []rowsCell
+	for _, n := range sizes {
+		n := n
+		rows = append(rows, rowsCell{run: func() ([][]any, error) {
+			return e12ParallelRows(cfg, n, steps, workers)
+		}})
+	}
+	if err := runRows(seqPool(), table, rows); err != nil {
+		return nil, err
+	}
+	table.AddNote("host: %d core(s), GOMAXPROCS=%d — speedup is scaling efficiency relative to workers=1; on a single-core host the parallel rows measure pool overhead and the table is a determinism check",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	table.AddNote("consistent: every worker count reproduces the workers=1 configuration fingerprint, steps and moves exactly (sim.FingerprintConfig)")
+	return table, nil
+}
+
+// e12ParallelRows drives one unison ring (full-width sd firing front, the
+// fused fast path) once per worker count from the same seeded start.
+func e12ParallelRows(cfg RunConfig, n, steps int, workers []int) ([][]any, error) {
+	g := graph.Ring(n)
+	p, err := unison.New(g, unison.SafeParams(g))
+	if err != nil {
+		return nil, err
+	}
+	initial := sim.RandomConfig[int](p, cfg.rng(int64(53*n)))
+	seed := cfg.seed() + int64(n)
+
+	var out [][]any
+	var baseNS int64
+	var baseFP uint64
+	var baseMoves int
+	for i, w := range workers {
+		pool := sim.NewPool(w)
+		e, err := scenario.NewEngine[int](scenario.EngineSpec{Backend: "flat", Workers: w, Pool: pool},
+			p, daemon.NewSynchronous[int](), initial, seed)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		done, ns, _, err := timedRun(e, steps)
+		pool.Close()
+		if err != nil {
+			return nil, err
+		}
+		fp := sim.FingerprintConfig(e.Current())
+		moves := e.Moves()
+		if i == 0 {
+			baseNS, baseFP, baseMoves = ns, fp, moves
+		}
+		div := ns
+		if div == 0 {
+			div = 1
+		}
+		stepsPerSec := 1e9 / float64(div)
+		movesPerSec := stepsPerSec * float64(moves) / float64(max(done, 1))
+		out = append(out, []any{fmt.Sprintf("ring-%d", n), n, w, done, ns,
+			fmt.Sprintf("%.0f", stepsPerSec), fmt.Sprintf("%.3g", movesPerSec),
+			fmt.Sprintf("%.2f", ratio(baseNS, ns)), ok(fp == baseFP && moves == baseMoves)})
+	}
+	return out, nil
 }
 
 // e12CompositionTable measures the zero-copy composition win: the generic

@@ -117,7 +117,7 @@ func Registry() []Experiment {
 		{ID: "e9", Title: "Extension — daemon spectrum (multi-daemon Definition 4)", Run: E9DaemonSpectrum},
 		{ID: "e10", Title: "Extension — fault bursts and re-stabilization", Run: E10FaultStorm},
 		{ID: "e11", Title: "Extension — ℓ-exclusion via privilege groups", Run: E11LExclusion},
-		{ID: "e12", Title: "Substrate — engine locality scaling (incremental vs full rescan)", Run: E12Scaling},
+		{ID: "e12", Title: "Substrate — engine scaling (locality, flat backend, shard-parallel workers)", Run: E12Scaling},
 		{ID: "e13", Title: "Service — workload-driven grants, live fault storms, client-observed speculation", Run: E13Service},
 	}
 }

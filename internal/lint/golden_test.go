@@ -272,6 +272,24 @@ func TestCapabilityRegistryGolden(t *testing.T) {
 	runGolden(t, "capability_registry", pol, RunOptions{Analyzers: []*Analyzer{Capability}})
 }
 
+func TestGoroutineGolden(t *testing.T) {
+	pol := goldenPolicy("goroutine")
+	pol.GoroutineExemptFiles = set("pool.go")
+	runGolden(t, "goroutine", pol, RunOptions{Analyzers: []*Analyzer{Goroutine}})
+}
+
+func TestGoroutineIgnoresNonDeterministicPackages(t *testing.T) {
+	// The same seeded go statements produce nothing outside the audit set.
+	pkg := loadGolden(t, "goroutine")
+	diags, err := Run([]*Package{pkg}, goldenPolicy("someotherpkg"), RunOptions{Analyzers: []*Analyzer{Goroutine}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("goroutine fired outside the deterministic set: %v", diags)
+	}
+}
+
 func TestSuppressionGolden(t *testing.T) {
 	// Full suite + unused-suppression checking: the framework's own
 	// diagnostics (unknown directive, missing justification, unused

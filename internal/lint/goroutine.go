@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Goroutine forbids raw go statements in deterministic packages. All
+// concurrency in the execution layers must flow through the approved
+// persistent worker pools (Policy.GoroutineExemptFiles: sim's shard pool,
+// campaign's grid scheduler), whose join barriers and shard-ordered merges
+// carry the determinism argument of DESIGN.md §11. A go statement anywhere
+// else is either a scheduling-order dependence waiting to happen or an
+// unjoined goroutine outliving its step — both invisible to the
+// differential tests until they flake. Deliberate exceptions suppress with
+//
+//	//speclint:goroutine -- <why this fan-out is deterministic>
+var Goroutine = &Analyzer{
+	Name:      "goroutine",
+	Directive: "goroutine",
+	Doc: "forbid raw go statements in deterministic packages: concurrency must flow through the " +
+		"approved worker pools (sim.Pool, campaign's cell scheduler), whose barriers keep executions " +
+		"bitwise identical across worker counts",
+	Run: runGoroutine,
+}
+
+func runGoroutine(pass *Pass) error {
+	if !pass.Policy.Deterministic[pass.Pkg.Path] {
+		return nil
+	}
+	pass.inspect(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		pos := pass.Pkg.Fset.Position(g.Pos())
+		if pass.Policy.GoroutineExemptFiles[pass.Pkg.RelFile(pos)] {
+			return true
+		}
+		pass.Reportf(g.Pos(), "go statement in deterministic package %s: dispatch through an approved worker pool (sim.Pool) or claim an exemption in internal/lint/policy.go",
+			pass.Pkg.Name)
+		return true
+	})
+	return nil
+}

@@ -1,6 +1,6 @@
 // Package lint is the repository's determinism- and capability-contract
 // checker: a small go/analysis-style framework (stdlib only — the
-// container has no golang.org/x/tools) plus the five speclint analyzers
+// container has no golang.org/x/tools) plus the six speclint analyzers
 // that machine-check the contracts DESIGN.md states in prose:
 //
 //   - detmap     — no map iteration in deterministic packages (§7)
@@ -9,6 +9,8 @@
 //   - hookretain — the StepInfo aliasing contract of sim.Hook (§8)
 //   - capability — Flat protocols declare Local + RuleBounded, and every
 //     registered protocol appears in the differential test matrix (§6, §8)
+//   - goroutine  — no raw go statements in deterministic packages outside
+//     the approved worker pools (§11)
 //
 // Packages are loaded with `go list -export -deps -json`: dependencies are
 // imported from compiler export data (fast, no network), only the audited
@@ -135,6 +137,7 @@ var directiveNames = map[string]bool{
 	"rand":       true, // detrand
 	"retain":     true, // hookretain
 	"capability": true, // capability
+	"goroutine":  true, // goroutine
 }
 
 // directive is one parsed //speclint: comment.

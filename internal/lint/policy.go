@@ -21,6 +21,12 @@ type Policy struct {
 	// are outside the audit entirely — speclint analyzes non-test
 	// sources.
 	WallclockExemptFiles map[string]bool
+	// GoroutineExemptFiles lists module-relative files allowed to contain
+	// raw go statements inside deterministic packages — the approved
+	// worker-pool implementations whose barriers the determinism argument
+	// covers (DESIGN.md §11). Everything else in a deterministic package
+	// must dispatch through those pools.
+	GoroutineExemptFiles map[string]bool
 	// RegistryPkg is the package whose protocol registry the capability
 	// analyzer cross-checks against the differential test matrix.
 	RegistryPkg string
@@ -66,6 +72,15 @@ func Default() *Policy {
 		WallclockExemptFiles: set(
 			// E12's wall-clock throughput columns: timing is the payload.
 			"internal/experiments/e12_scaling.go",
+		),
+		GoroutineExemptFiles: set(
+			// The persistent shard pool behind the engine's parallel
+			// phases: workers park on wake channels and join through a
+			// done-token barrier before any result is read.
+			"internal/sim/pool.go",
+			// The campaign grid scheduler: cell×trial fan-out with a
+			// deterministic grid-order fold.
+			"internal/campaign/pool.go",
 		),
 		RegistryPkg: "specstab/internal/scenario",
 	}

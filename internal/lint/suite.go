@@ -2,7 +2,7 @@ package lint
 
 // All returns the speclint suite in presentation order.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, Wallclock, DetRand, HookRetain, Capability}
+	return []*Analyzer{DetMap, Wallclock, DetRand, HookRetain, Capability, Goroutine}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -1,0 +1,31 @@
+// Package goroutine seeds raw go statements for the goroutine analyzer:
+// bare fan-out is flagged (named functions and closures alike), plain
+// function calls and deferred closures are not, and the directive plus the
+// pool-file allowlist both silence the check.
+package goroutine
+
+func fanOut(work []int) {
+	results := make(chan int, len(work))
+	for _, w := range work {
+		go func(w int) { // want "go statement in deterministic package goroutine"
+			results <- w * w
+		}(w)
+	}
+}
+
+func named() {
+	go helper() // want "go statement in deterministic package goroutine"
+}
+
+func helper() {}
+
+// Plain calls and defers are sequential: no diagnostic.
+func sequential() {
+	helper()
+	defer helper()
+}
+
+func suppressed() {
+	//speclint:goroutine -- golden: joined before return via the done channel below
+	go helper()
+}

@@ -1,0 +1,21 @@
+package goroutine
+
+// This file is allowlisted by the test's policy (GoroutineExemptFiles),
+// mirroring internal/sim/pool.go: the approved pool implementation may
+// spawn its workers without diagnostics.
+
+type pool struct {
+	wake []chan struct{}
+}
+
+func (p *pool) start() {
+	for i := range p.wake {
+		ch := make(chan struct{}, 1)
+		p.wake[i] = ch
+		go p.worker(ch)
+	}
+}
+
+func (p *pool) worker(wake chan struct{}) {
+	<-wake
+}

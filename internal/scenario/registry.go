@@ -159,7 +159,7 @@ func BackendNames() []string { return []string{"auto", "generic", "flat"} }
 // protocol without the Flat capability fails inside sim.NewEngineWith.
 // Use OptionsFor when the protocol is at hand (it implements LenientFlat).
 func (es EngineSpec) Options() (sim.Options, error) {
-	opts := sim.Options{Workers: es.Workers}
+	opts := sim.Options{Workers: es.Workers, Pool: es.Pool}
 	switch strings.ToLower(es.Backend) {
 	case "", "auto":
 		opts.Backend = sim.BackendAuto

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"specstab/internal/sim"
 )
 
 // Scenario is one declarative run specification. The zero value of every
@@ -110,13 +112,19 @@ type EngineSpec struct {
 	// Backend is "", "auto", "generic" or "flat".
 	Backend string `json:"backend,omitempty"`
 	// Workers bounds the shard workers of the parallel evaluate phase
-	// (0 = GOMAXPROCS).
+	// (0 = GOMAXPROCS, or the width of Pool when one is set).
 	Workers int `json:"workers,omitempty"`
 	// LenientFlat makes "flat" fall back to the generic backend when the
 	// protocol lacks the Flat capability instead of failing — the sweep
 	// semantics of the experiment harness. JSON scenarios normally leave
 	// it false: asking for flat on a protocol without a codec is an error.
 	LenientFlat bool `json:"lenientFlat,omitempty"`
+	// Pool is a shared persistent worker pool for the engine's sharded
+	// phases — a runtime handle, not part of the declarative spec (the
+	// campaign layer injects one so every cell×trial engine of a sweep
+	// reuses the same worker goroutines). Nil means each engine owns its
+	// pool. Never serialized.
+	Pool *sim.Pool `json:"-"`
 }
 
 // InitSpec selects the initial-configuration policy.

@@ -177,18 +177,21 @@ type backendVariant struct {
 
 // backendMatrix returns the variants compared against the sequential
 // generic reference: the generic backend under shard parallelism, and —
-// when the protocol provides sim.Flat — the flat backend under worker
-// counts {1, 4, GOMAXPROCS}. ShardSize 2 forces the parallel evaluate
-// phase even on the tiny test graphs.
+// when the protocol provides sim.Flat — the flat backend (fused
+// synchronous path included) under worker counts {1, 4, GOMAXPROCS}.
+// ShardSize 2 forces the parallel evaluate phase even on the tiny test
+// graphs; ShardSize 1 is the degenerate one-vertex-per-shard extreme.
 func backendMatrix(flat bool) []backendVariant {
 	vs := []backendVariant{
 		{"generic/w4", sim.Options{Backend: sim.BackendGeneric, Workers: 4, ShardSize: 2}},
+		{"generic/w4/s1", sim.Options{Backend: sim.BackendGeneric, Workers: 4, ShardSize: 1}},
 		{"generic/wmax", sim.Options{Backend: sim.BackendGeneric, Workers: runtime.GOMAXPROCS(0), ShardSize: 2}},
 	}
 	if flat {
 		vs = append(vs,
 			backendVariant{"flat/w1", sim.Options{Backend: sim.BackendFlat, Workers: 1}},
 			backendVariant{"flat/w4", sim.Options{Backend: sim.BackendFlat, Workers: 4, ShardSize: 2}},
+			backendVariant{"flat/w4/s1", sim.Options{Backend: sim.BackendFlat, Workers: 4, ShardSize: 1}},
 			backendVariant{"flat/wmax", sim.Options{Backend: sim.BackendFlat, Workers: runtime.GOMAXPROCS(0), ShardSize: 2}},
 		)
 	}
@@ -215,6 +218,10 @@ func diffBackends[S comparable](t *testing.T, p sim.Protocol[S], mk func() sim.D
 			t.Fatalf("%s: %v", v.name, err)
 		}
 		got := trace(t, e, steps)
+		// Release owned pools deterministically: the matrix builds many
+		// parallel engines, and parked helpers should not accumulate until
+		// the collector gets around to them.
+		defer e.Close()
 		if len(got) != len(want) {
 			t.Fatalf("%s: execution lengths diverge: %d vs %d", v.name, len(got), len(want))
 		}

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 )
 
 // StepInfo describes one executed step for hooks and traces.
@@ -112,15 +111,24 @@ type Engine[S comparable] struct {
 	w        int     // words per vertex
 	st       []int64 // packed configuration, vertex-major
 	nextW    []int64 // staged next words, indexed by selection position
+	stNext   []int64 // back buffer of the fused synchronous step (swapped, not copied)
 	allVerts []int   // identity list for batch rescans
 	allRules []Rule  // rescan scratch
 
-	// Shard-parallel evaluate phase (see forShards): workers bounds the
-	// fan-out, shardSize the minimum batch per goroutine, shardErrs the
-	// per-shard error slots (merged in shard order for determinism).
+	// Shard-parallel phases (see forShards): workers bounds the fan-out,
+	// shardSize the minimum batch per shard, shardErrs the per-shard error
+	// slots (merged in shard order for determinism). pool is the persistent
+	// worker team the shards run on — either Options.Pool (shared across
+	// engines) or a lazily owned pool (owned=true), released by Close or by
+	// the runtime cleanup when the engine is collected.
 	workers   int
 	shardSize int
 	shardErrs []error
+	pool      *Pool
+	owned     bool
+	cleanup   runtime.Cleanup
+	arenas    [][]int // per-shard enabled-list arenas (refreshDense/rescan)
+	offsets   []int   // arena concatenation offsets scratch
 
 	// guardEvals counts EnabledRule evaluations made by the engine itself
 	// (rescans, incremental refreshes, rule lookups, round settlement),
@@ -154,12 +162,22 @@ func NewEngineWith[S comparable](p Protocol[S], d Daemon[S], initial Config[S], 
 	if err := Validate(p, initial); err != nil {
 		return nil, err
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("sim: Options.Workers is negative (%d); use 0 for the GOMAXPROCS default or 1 to disable parallelism", opts.Workers)
+	}
+	if opts.ShardSize < 0 {
+		return nil, fmt.Errorf("sim: Options.ShardSize is negative (%d); use 0 for the default (%d)", opts.ShardSize, DefaultShardSize)
+	}
 	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if workers == 0 {
+		if opts.Pool != nil {
+			workers = opts.Pool.Workers()
+		} else {
+			workers = runtime.GOMAXPROCS(0)
+		}
 	}
 	shardSize := opts.ShardSize
-	if shardSize <= 0 {
+	if shardSize == 0 {
 		shardSize = DefaultShardSize
 	}
 	e := &Engine[S]{
@@ -171,6 +189,20 @@ func NewEngineWith[S comparable](p Protocol[S], d Daemon[S], initial Config[S], 
 		workers:   workers,
 		shardSize: shardSize,
 		shardErrs: make([]error, workers),
+	}
+	if workers > 1 {
+		if opts.Pool != nil {
+			e.pool = opts.Pool
+		} else {
+			// A private pool, tied to the engine's lifetime: Close releases
+			// it deterministically; the cleanup catches engines that are
+			// simply dropped, so parked helper goroutines never outlive the
+			// engines that started them. The cleanup closure must not
+			// capture e (that would keep the engine reachable forever).
+			e.pool = NewPool(workers)
+			e.owned = true
+			e.cleanup = runtime.AddCleanup(e, func(p *Pool) { p.Close() }, e.pool)
+		}
 	}
 	switch opts.Backend {
 	case BackendAuto:
@@ -222,18 +254,24 @@ func NewEngineWith[S comparable](p Protocol[S], d Daemon[S], initial Config[S], 
 func (e *Engine[S]) seedEnabled() { e.refreshDense() }
 
 // refreshDense re-evaluates every guard with batch kernels and rebuilds
-// the enabled list with one sweep — cheaper than dirty-set bookkeeping
-// once a sizable fraction of the vertices fired (the synchronous-daemon
-// regime: no influence-set iteration, no mark churn, no sort).
+// the enabled list — cheaper than dirty-set bookkeeping once a sizable
+// fraction of the vertices fired (the synchronous-daemon regime: no
+// influence-set iteration, no mark churn, no sort). Each shard evaluates
+// its guard range and collects its enabled vertices into a per-shard
+// arena in the same pass; the arenas are then concatenated in shard
+// order, so the rebuilt list is identical for every worker count.
 func (e *Engine[S]) refreshDense() {
 	n := e.p.N()
 	e.guardEvals += int64(n)
+	arenas := e.shardArenas()
+	var shards int
 	if e.fl != nil {
-		e.forShards(n, func(_, lo, hi int) {
+		shards = e.forShards(n, func(sh, lo, hi int) {
 			e.fl.EnabledRuleFlat(e.st, e.w, 0, e.allVerts[lo:hi], e.ruleOf[lo:hi])
+			arenas[sh] = appendEnabled(arenas[sh][:0], e.ruleOf, lo, hi)
 		})
 	} else {
-		e.forShards(n, func(_, lo, hi int) {
+		shards = e.forShards(n, func(sh, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				r, ok := e.p.EnabledRule(e.cfg, v)
 				if !ok {
@@ -241,16 +279,63 @@ func (e *Engine[S]) refreshDense() {
 				}
 				e.ruleOf[v] = r
 			}
+			arenas[sh] = appendEnabled(arenas[sh][:0], e.ruleOf, lo, hi)
 		})
 	}
-	out := e.enabledAlt[:0]
-	for v, r := range e.ruleOf {
-		if r != NoRule {
-			out = append(out, v)
-		}
-	}
+	// Swap the maintained list with the spare buffer: the old backing array
+	// stays intact (as enabledAlt[:0]) until the next rebuild appends to
+	// it, which is what keeps a selection aliasing the old list — the fused
+	// synchronous step's activated slice — valid through round settlement
+	// and the hook pipeline.
+	out := e.concatArenas(e.enabledAlt, shards)
 	e.enabledAlt = e.enabled[:0]
 	e.enabled = out
+}
+
+// shardArenas sizes the per-shard arena table to the worker bound (the
+// shard count never exceeds it) and returns it.
+func (e *Engine[S]) shardArenas() [][]int {
+	if cap(e.arenas) < e.workers {
+		e.arenas = make([][]int, e.workers)
+	}
+	e.arenas = e.arenas[:e.workers]
+	return e.arenas
+}
+
+// appendEnabled collects the vertices of [lo, hi) with a set rule, in
+// increasing order.
+func appendEnabled(dst []int, ruleOf []Rule, lo, hi int) []int {
+	for v := lo; v < hi; v++ {
+		if ruleOf[v] != NoRule {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// concatArenas joins the first shards arenas in shard order into dst's
+// backing array (reallocating only on growth) and returns the result —
+// the deterministic concatenation that makes the parallel rebuild
+// order-independent. Large concatenations copy shard-parallel: the
+// destination ranges are disjoint by construction.
+func (e *Engine[S]) concatArenas(dst []int, shards int) []int {
+	e.offsets = growSlice(e.offsets, shards)
+	total := 0
+	for sh := 0; sh < shards; sh++ {
+		e.offsets[sh] = total
+		total += len(e.arenas[sh])
+	}
+	out := growSlice(dst[:0], total)
+	if shards > 1 && e.pool != nil && total > e.shardSize {
+		e.pool.run(shards, func(sh int) {
+			copy(out[e.offsets[sh]:], e.arenas[sh])
+		})
+		return out
+	}
+	for sh := 0; sh < shards; sh++ {
+		copy(out[e.offsets[sh]:], e.arenas[sh])
+	}
+	return out
 }
 
 // evalGuard is a single-vertex EnabledRule with accounting, dispatched to
@@ -273,15 +358,12 @@ func (e *Engine[S]) rescan() []int {
 	e.guardEvals += int64(n)
 	if e.fl != nil {
 		e.allRules = growSlice(e.allRules, n)
-		e.forShards(n, func(_, lo, hi int) {
+		arenas := e.shardArenas()
+		shards := e.forShards(n, func(sh, lo, hi int) {
 			e.fl.EnabledRuleFlat(e.st, e.w, 0, e.allVerts[lo:hi], e.allRules[lo:hi])
+			arenas[sh] = appendEnabled(arenas[sh][:0], e.allRules, lo, hi)
 		})
-		e.enabled = e.enabled[:0]
-		for v, r := range e.allRules {
-			if r != NoRule {
-				e.enabled = append(e.enabled, v)
-			}
-		}
+		e.enabled = e.concatArenas(e.enabled, shards)
 		return e.enabled
 	}
 	e.enabled = Enabled(e.p, e.cfg, e.enabled)
@@ -356,6 +438,21 @@ func (e *Engine[S]) Backend() Backend {
 
 // Workers returns the shard-worker bound of the parallel evaluate phase.
 func (e *Engine[S]) Workers() int { return e.workers }
+
+// Close releases the engine's privately owned worker pool, if any —
+// deterministic teardown for callers that build many parallel engines
+// (benchmarks, sweeps). Idempotent. The engine stays fully usable after
+// Close: sharded phases simply run inline. A pool supplied via
+// Options.Pool is shared and is never closed here; engines that are
+// dropped without Close release their owned pool via a runtime cleanup
+// when collected.
+func (e *Engine[S]) Close() {
+	if e.owned {
+		e.owned = false
+		e.cleanup.Stop()
+		e.pool.Close()
+	}
+}
 
 // Current returns the live configuration. It is shared with the engine and
 // must be treated as read-only; use Snapshot for an owned copy. On the
@@ -602,6 +699,9 @@ func (e *Engine[S]) Step() (bool, error) {
 	if len(sel) == 0 {
 		return false, fmt.Errorf("%w: empty selection by %s", ErrDaemonSelection, e.d.Name())
 	}
+	if e.fusedEligible(sel, enabled) {
+		return e.stepFused(sel)
+	}
 	e.selected = append(e.selected[:0], sel...)
 	if !sort.IntsAreSorted(e.selected) {
 		// Daemons normally select in increasing id order (StepInfo
@@ -620,6 +720,88 @@ func (e *Engine[S]) Step() (bool, error) {
 	}
 	e.settleRound(e.selected)
 	e.fireHooks(StepInfo{Step: e.steps, Activated: e.selected, Rules: e.rules})
+	return true, nil
+}
+
+// fusedEligible reports whether the step can take the fused synchronous
+// fast path (stepFused): packed state with incremental tracking, a
+// selection that is the maintained enabled list itself (the synchronous
+// daemon returns the enabled slice unmodified, so identity of the backing
+// array identifies it), and a dense firing front — the regime where the
+// general path would rebuild the enabled list with refreshDense anyway.
+// Sparse fronts stay on the general path: its dirty-set merge beats a full
+// rescan there. The sortedness check guards against a daemon permuting the
+// enabled list in place; any failure falls back to the general path, which
+// normalizes and handles every case.
+func (e *Engine[S]) fusedEligible(sel, enabled []int) bool {
+	return e.fl != nil && e.loc != nil &&
+		len(sel) == len(enabled) && &sel[0] == &enabled[0] &&
+		4*len(sel) >= e.p.N() &&
+		sort.IntsAreSorted(sel)
+}
+
+// stepFused executes one dense synchronous transition in a single sharded
+// pass over the packed buffer: each shard reads the rules of its activated
+// vertices straight from the maintained ruleOf table (every activated
+// vertex has one — the selection is the enabled list, which is exactly the
+// set of vertices with a set rule), applies them against the frozen front
+// buffer into the back buffer, fills the unfired gaps by word copy, and
+// refreshes the decoded shadow — evaluate, select bookkeeping, staging and
+// commit collapsed into one pass, with a buffer swap where the general
+// path scatters staged words back. The observable execution — selection,
+// rules, counters, guard-evaluation accounting (+N from the refreshDense
+// rebuild, as on the general dense path), hook order — is bitwise
+// identical to the general path; the differential matrix pins this.
+func (e *Engine[S]) stepFused(activated []int) (bool, error) {
+	n := e.p.N()
+	k := len(activated)
+	w := e.w
+	e.rules = growSlice(e.rules, k)
+	e.stNext = growSlice(e.stNext, n*w)
+	if k == n {
+		// Full firing: selection position i is vertex i, so ApplyFlat's
+		// position-indexed output lands verbatim in the back buffer.
+		e.forShards(n, func(_, lo, hi int) {
+			rules := e.rules[lo:hi]
+			copy(rules, e.ruleOf[lo:hi])
+			e.fl.ApplyFlat(e.st, w, 0, e.allVerts[lo:hi], rules, e.stNext[lo*w:hi*w], w, 0)
+			e.fl.DecodeStates(e.stNext, w, 0, e.allVerts[lo:hi], e.cfg)
+		})
+	} else {
+		// Partial firing: shards still cover the vertex range (so the gap
+		// copies partition the buffer); each shard locates its slice of the
+		// activated list by binary search, stages its applies at selection
+		// positions, then interleaves gap copies and staged words into the
+		// back buffer.
+		e.nextW = growSlice(e.nextW, k*w)
+		e.forShards(n, func(_, lo, hi int) {
+			a := sort.SearchInts(activated, lo)
+			b := sort.SearchInts(activated, hi)
+			sub := activated[a:b]
+			rules := e.rules[a:b]
+			for j, v := range sub {
+				rules[j] = e.ruleOf[v]
+			}
+			e.fl.ApplyFlat(e.st, w, 0, sub, rules, e.nextW[a*w:b*w], w, 0)
+			prev := lo
+			for j, v := range sub {
+				copy(e.stNext[prev*w:v*w], e.st[prev*w:v*w])
+				copy(e.stNext[v*w:(v+1)*w], e.nextW[(a+j)*w:(a+j+1)*w])
+				prev = v + 1
+			}
+			copy(e.stNext[prev*w:hi*w], e.st[prev*w:hi*w])
+			e.fl.DecodeStates(e.stNext, w, 0, sub, e.cfg)
+		})
+	}
+	e.st, e.stNext = e.stNext, e.st
+	e.steps++
+	e.moves += k
+	// Same post-commit order as the general path: rebuild, then settle the
+	// round against the fresh ruleOf, then fire hooks. refreshDense swaps
+	// the enabled buffers but leaves activated's backing array intact.
+	e.refreshDense()
+	e.settleRound(activated)
+	e.fireHooks(StepInfo{Step: e.steps, Activated: activated, Rules: e.rules[:k]})
 	return true, nil
 }
 
@@ -722,10 +904,18 @@ func (e *Engine[S]) commitMoves() {
 	})
 }
 
+// cacheLineWords is a 64-byte cache line in int64 words. Shard sizes at or
+// above it are rounded up to a multiple, so adjacent shards never write
+// the same cache line of ruleOf/nextW/stNext (false sharing); smaller
+// explicit shard sizes — tests forcing parallelism on tiny graphs — are
+// left exact.
+const cacheLineWords = 8
+
 // forShards runs f over contiguous ranges covering [0, k) and returns the
 // number of ranges. Work below the shard-size threshold (or with a single
-// worker) runs inline; otherwise ranges are dispatched to goroutines and
-// joined before returning. f must write only to disjoint index-addressed
+// worker) runs inline; otherwise ranges run on the engine's persistent
+// pool — precomputed from the shard index, no per-call goroutines — and
+// join before returning. f must write only to disjoint index-addressed
 // slots (rules[i], nextW[i*w:], ruleOf[vs[i]], shardErrs[shard]) — the
 // shard boundaries depend only on k, the shard size and the worker bound,
 // never on timing, so results are identical for every worker count.
@@ -733,7 +923,7 @@ func (e *Engine[S]) forShards(k int, f func(shard, lo, hi int)) int {
 	if k == 0 {
 		return 0
 	}
-	if e.workers <= 1 || k <= e.shardSize {
+	if e.workers <= 1 || k <= e.shardSize || e.pool == nil {
 		f(0, 0, k)
 		return 1
 	}
@@ -741,21 +931,22 @@ func (e *Engine[S]) forShards(k int, f func(shard, lo, hi int)) int {
 	if s := (k + e.workers - 1) / e.workers; s > size {
 		size = s
 	}
+	if size >= cacheLineWords {
+		size = (size + cacheLineWords - 1) &^ (cacheLineWords - 1)
+	}
 	shards := (k + size - 1) / size
-	var wg sync.WaitGroup
-	wg.Add(shards)
-	for sh := 0; sh < shards; sh++ {
+	if shards == 1 {
+		f(0, 0, k)
+		return 1
+	}
+	e.pool.run(shards, func(sh int) {
 		lo := sh * size
 		hi := lo + size
 		if hi > k {
 			hi = k
 		}
-		go func(sh, lo, hi int) {
-			defer wg.Done()
-			f(sh, lo, hi)
-		}(sh, lo, hi)
-	}
-	wg.Wait()
+		f(sh, lo, hi)
+	})
 	return shards
 }
 

@@ -168,16 +168,26 @@ const DefaultShardSize = 4096
 
 // Options configures engine construction beyond the mandatory arguments
 // of NewEngine. The zero value means: automatic backend selection,
-// GOMAXPROCS shard workers, DefaultShardSize shards. Every option choice
-// produces bitwise identical executions — only throughput changes.
+// GOMAXPROCS shard workers, DefaultShardSize shards, a privately owned
+// worker pool. Every option choice produces bitwise identical executions —
+// only throughput changes.
 type Options struct {
 	// Backend selects the execution representation (default BackendAuto).
 	Backend Backend
-	// Workers bounds the goroutines of the shard-parallel evaluate phase;
-	// 0 means GOMAXPROCS, 1 disables parallelism.
+	// Workers bounds the concurrency of the shard-parallel phases:
+	// 0 means runtime.GOMAXPROCS(0) (or the width of Pool when one is
+	// supplied), 1 disables parallelism entirely. Negative values are
+	// rejected by NewEngineWith.
 	Workers int
 	// ShardSize is the minimum number of vertices per shard (0 means
-	// DefaultShardSize). Tests lower it to force parallel evaluation on
-	// small graphs.
+	// DefaultShardSize; negative values are rejected). Tests lower it to
+	// force parallel evaluation on small graphs.
 	ShardSize int
+	// Pool, when non-nil, is the persistent worker pool the engine's
+	// sharded phases run on. Share one Pool across engines (campaign
+	// sweeps do) so helper goroutines start once per process rather than
+	// once per engine; the pool's owner closes it. Nil means the engine
+	// lazily owns a private pool, released by Engine.Close or when the
+	// engine is collected. Pools affect throughput only, never executions.
+	Pool *Pool
 }

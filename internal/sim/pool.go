@@ -1,0 +1,160 @@
+package sim
+
+// The persistent shard pool behind forShards (DESIGN.md §11). The sharded
+// phases of a synchronous step used to spawn fresh goroutines per call —
+// three to four spawn/join cycles per step — which put goroutine creation
+// and scheduler wake-up latency on the hot path. A Pool keeps its workers
+// parked on per-worker wake channels instead: dispatching an epoch is one
+// channel send per helper and one receive per helper to join, the shard
+// ranges are handed out through an atomic cursor, and the caller itself
+// participates in the work so a pool of width W runs W shards on W
+// goroutines (W−1 helpers plus the caller).
+//
+// Pools carry no execution semantics: shard boundaries are computed by the
+// caller from (k, shard size, worker bound) alone and every shard writes
+// only disjoint index-addressed slots, so executions are bitwise identical
+// for every pool width — including width 1 and the closed-pool inline
+// fallback (the differential tests pin this).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent team of shard workers. One Pool may be shared by
+// any number of engines (campaign sweeps share one across every cell×trial
+// engine): epochs are serialized internally, so concurrent callers are
+// safe, and the worker goroutines are started once per Pool — lazily, on
+// the first parallel epoch — rather than once per engine or per step.
+//
+// A Pool owned by an engine (Options.Pool == nil, Workers > 1) is closed
+// by Engine.Close or, failing that, by a runtime cleanup when the engine
+// is collected; explicitly shared pools are closed by their creator.
+// Running on a closed Pool degrades to inline execution — never an error,
+// never a deadlock — so Close is safe at any point.
+type Pool struct {
+	procs int
+
+	// mu serializes epochs: one run at a time, which is also what makes a
+	// single Pool shareable across engines.
+	mu      sync.Mutex
+	started bool
+	closed  bool
+
+	// Epoch state, written under mu before the wakes and read by workers
+	// after their wake receive (the channel provides the happens-before
+	// edge). cursor hands out shard indices; job is the epoch's work.
+	job    func(shard int)
+	shards int64
+	cursor atomic.Int64
+
+	wake []chan struct{} // one cap-1 channel per helper
+	done chan struct{}   // barrier tokens, one per woken helper
+	quit chan struct{}   // closed by Close; helpers exit
+}
+
+// NewPool creates a pool of the given width; workers <= 0 means
+// runtime.GOMAXPROCS(0). No goroutines are started until the first
+// parallel epoch, so constructing pools is free.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{procs: workers}
+}
+
+// Workers returns the pool width (helpers + the participating caller).
+func (p *Pool) Workers() int { return p.procs }
+
+// start spawns the helper goroutines. Called once, under mu.
+func (p *Pool) start() {
+	p.started = true
+	p.done = make(chan struct{}, p.procs-1)
+	p.quit = make(chan struct{})
+	p.wake = make([]chan struct{}, p.procs-1)
+	for i := range p.wake {
+		ch := make(chan struct{}, 1)
+		p.wake[i] = ch
+		go p.worker(ch)
+	}
+}
+
+// worker parks on its wake channel; each wake is one epoch: drain the
+// cursor, post a done token, park again. Close wins races via quit.
+func (p *Pool) worker(wake chan struct{}) {
+	for {
+		select {
+		case <-wake:
+			p.drain()
+			p.done <- struct{}{}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// drain claims shards off the epoch cursor until none remain.
+func (p *Pool) drain() {
+	job, shards := p.job, p.shards
+	for {
+		sh := p.cursor.Add(1) - 1
+		if sh >= shards {
+			return
+		}
+		job(int(sh))
+	}
+}
+
+// run executes job(0) … job(shards−1) across the pool and returns when all
+// have completed. The caller participates; helpers beyond shards−1 are not
+// woken. On a closed or width-1 pool the shards run inline on the caller.
+// job must confine its writes to disjoint, shard-addressed slots — run
+// guarantees completion order only, not execution order.
+func (p *Pool) run(shards int, job func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.procs <= 1 || shards == 1 {
+		p.mu.Unlock()
+		for sh := 0; sh < shards; sh++ {
+			job(sh)
+		}
+		return
+	}
+	if !p.started {
+		p.start()
+	}
+	p.job = job
+	p.shards = int64(shards)
+	p.cursor.Store(0)
+	helpers := p.procs - 1
+	if helpers > shards-1 {
+		helpers = shards - 1
+	}
+	for i := 0; i < helpers; i++ {
+		p.wake[i] <- struct{}{}
+	}
+	p.drain()
+	for i := 0; i < helpers; i++ {
+		<-p.done
+	}
+	p.job = nil
+	p.mu.Unlock()
+}
+
+// Close terminates the helper goroutines. Idempotent and safe while other
+// goroutines hold references: later run calls execute inline. Closing a
+// never-started pool is free.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.started {
+		close(p.quit)
+	}
+}

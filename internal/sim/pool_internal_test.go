@@ -1,0 +1,108 @@
+package sim
+
+// White-box exercise of the persistent shard pool: barrier correctness
+// across many epochs and shard counts, concurrent callers (the campaign
+// layer shares one pool across cell goroutines), lifecycle edges (close
+// before start, double close, run after close), and the inline fallbacks.
+// The race job runs this file with -race, which is the point: every epoch
+// is a start/join of the done-token barrier.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolBarrierManyEpochs(t *testing.T) {
+	t.Parallel()
+	p := NewPool(4)
+	defer p.Close()
+	for epoch := 0; epoch < 300; epoch++ {
+		shards := 1 + epoch%9
+		var sum atomic.Int64
+		p.run(shards, func(sh int) { sum.Add(int64(sh) + 1) })
+		if want := int64(shards * (shards + 1) / 2); sum.Load() != want {
+			t.Fatalf("epoch %d: shard sum %d, want %d", epoch, sum.Load(), want)
+		}
+	}
+}
+
+func TestPoolDisjointWritesVisibleAfterJoin(t *testing.T) {
+	t.Parallel()
+	p := NewPool(3)
+	defer p.Close()
+	const shards = 64
+	out := make([]int, shards)
+	for epoch := 1; epoch <= 50; epoch++ {
+		epoch := epoch
+		p.run(shards, func(sh int) { out[sh] = epoch * (sh + 1) })
+		for sh, got := range out {
+			if got != epoch*(sh+1) {
+				t.Fatalf("epoch %d shard %d: got %d, want %d", epoch, sh, got, epoch*(sh+1))
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentCallers(t *testing.T) {
+	t.Parallel()
+	p := NewPool(3)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var sum atomic.Int64
+				p.run(5, func(int) { sum.Add(1) })
+				if sum.Load() != 5 {
+					t.Errorf("epoch ran %d of 5 shards", sum.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolRunAfterCloseIsInline(t *testing.T) {
+	t.Parallel()
+	p := NewPool(4)
+	var before atomic.Int64
+	p.run(8, func(int) { before.Add(1) })
+	if before.Load() != 8 {
+		t.Fatalf("pre-close epoch ran %d of 8 shards", before.Load())
+	}
+	p.Close()
+	p.Close() // idempotent
+	var after atomic.Int64
+	p.run(8, func(int) { after.Add(1) })
+	if after.Load() != 8 {
+		t.Fatalf("post-close epoch ran %d of 8 shards", after.Load())
+	}
+}
+
+func TestPoolCloseBeforeStart(t *testing.T) {
+	t.Parallel()
+	p := NewPool(0) // GOMAXPROCS width, no goroutines yet
+	p.Close()       // must not panic or leak
+	var n atomic.Int64
+	p.run(3, func(int) { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("closed never-started pool ran %d of 3 shards", n.Load())
+	}
+}
+
+func TestPoolWidthOneRunsInline(t *testing.T) {
+	t.Parallel()
+	p := NewPool(1)
+	defer p.Close()
+	order := []int{}
+	p.run(4, func(sh int) { order = append(order, sh) })
+	for sh, got := range order {
+		if got != sh {
+			t.Fatalf("width-1 pool must run shards in order, got %v", order)
+		}
+	}
+}
