@@ -1,0 +1,63 @@
+// Micro-benchmark of the telemetry overhead claim (DESIGN.md §12): the
+// 65536-ring SSME service run of BENCH_service.json, exporter off vs on.
+// "On" attaches the full production pipeline — engine pump, service pump
+// (default strides), a live HTTP exporter and a JSONL sink — so the
+// measured delta is everything -telemetry costs a soak. The acceptance
+// budget is < 5% on ns/tick; BENCH_telemetry.json records a baseline run.
+//
+// Run with:
+//
+//	go test -bench=Telemetry -benchtime=65536x -run='^$' -timeout 30m
+//
+// (the fixed iteration floor makes the heavy Totals() stride fire 32
+// times; at ~2ms/tick the pair needs more than the default 10m timeout).
+package specstab_test
+
+import (
+	"io"
+	"testing"
+
+	"specstab/internal/core"
+	"specstab/internal/graph"
+	"specstab/internal/service"
+	"specstab/internal/sim"
+	"specstab/internal/telemetry"
+)
+
+// newTelemetryRingService is the BENCH_service.json instance: legitimate
+// SSME on a 65536-ring, one million closed-loop clients, flat backend.
+func newTelemetryRingService(b *testing.B) *service.Sim {
+	b.Helper()
+	const n = 65536
+	p, err := core.New(graph.Ring(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial := make(sim.Config[int], n)
+	for v := range initial {
+		initial[v] = p.PrivilegeValue(0)
+	}
+	return newRingService(b, p, initial)
+}
+
+func BenchmarkTelemetryOffSSMERing65536(b *testing.B) {
+	b.Logf("machine: %s", machineString())
+	benchServiceTicks(b, newTelemetryRingService(b))
+}
+
+func BenchmarkTelemetryOnSSMERing65536(b *testing.B) {
+	b.Logf("machine: %s", machineString())
+	s := newTelemetryRingService(b)
+	hub := telemetry.New()
+	hub.AddSink(telemetry.NewJSONL(io.Discard))
+	srv, err := telemetry.Serve(hub, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	telemetry.WatchEngine(hub, s.Engine(), 0)
+	telemetry.WatchService(hub, s, telemetry.ServiceOptions{})
+	benchServiceTicks(b, s)
+	snap := hub.Gather()
+	b.ReportMetric(float64(len(snap.Series)), "series")
+}

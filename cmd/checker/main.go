@@ -57,6 +57,9 @@ func run(args []string, out io.Writer) error {
 	if _, err := common.Resolve(); err != nil {
 		return err
 	}
+	if err := common.RejectTelemetry("checker"); err != nil {
+		return err
+	}
 
 	switch *system {
 	case "ssme":

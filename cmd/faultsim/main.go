@@ -58,6 +58,9 @@ func run(args []string, out io.Writer) error {
 	if _, err := common.Resolve(); err != nil {
 		return err
 	}
+	if err := common.RejectTelemetry("faultsim"); err != nil {
+		return err
+	}
 	seed := common.Seed
 
 	g, err := cli.ParseTopology(*topology, *n, seed)

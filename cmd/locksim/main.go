@@ -30,6 +30,7 @@ import (
 	"specstab/internal/cli"
 	"specstab/internal/scenario"
 	"specstab/internal/stats"
+	"specstab/internal/telemetry"
 )
 
 func main() {
@@ -76,15 +77,19 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, scenario.List())
 		return nil
 	}
+	hub, err := common.StartTelemetry(out)
+	if err != nil {
+		return err
+	}
 
 	if *campaignFile != "" {
-		return runCampaignFile(fs, *campaignFile, *checkpoint, common, out)
+		return runCampaignFile(fs, *campaignFile, *checkpoint, common, hub, out)
 	}
 	if *checkpoint != "" {
 		return fmt.Errorf("-checkpoint needs -campaign")
 	}
 	if *scenarioFile != "" {
-		return runScenarioFile(fs, *scenarioFile, common, out)
+		return runScenarioFile(fs, *scenarioFile, common, hub, out)
 	}
 
 	// The flag-built scenario: exactly the construction this driver has
@@ -108,6 +113,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *bursts > 0 {
 		sc.Storm = &scenario.StormSpec{Bursts: *bursts, Corrupt: *corrupt}
+	}
+	if hub != nil {
+		sc.Telemetry = hub
+		sc.Observers = append(sc.Observers, scenario.ObserverSpec{Name: "telemetry"})
 	}
 	r, err := scenario.Build(sc)
 	if err != nil {
@@ -148,10 +157,21 @@ func protoName(r *scenario.Run) string {
 	return r.Protocol().(named).Name()
 }
 
+// hasObserver reports whether sc already names the observer, so -telemetry
+// on a scenario file never attaches it twice.
+func hasObserver(sc *scenario.Scenario, name string) bool {
+	for _, o := range sc.Observers {
+		if o.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // runCampaignFile runs a whole storm grid — a campaign JSON file or a
 // built-in name — through the campaign runner, with the same override
 // rules as -scenario: only -backend, -workers and -seed may accompany it.
-func runCampaignFile(fs *flag.FlagSet, nameOrPath, checkpoint string, common *cli.Common, out io.Writer) error {
+func runCampaignFile(fs *flag.FlagSet, nameOrPath, checkpoint string, common *cli.Common, hub *telemetry.Hub, out io.Writer) error {
 	var c *campaign.Campaign
 	var err error
 	if strings.HasSuffix(nameOrPath, ".json") || strings.ContainsAny(nameOrPath, "/\\") {
@@ -165,6 +185,7 @@ func runCampaignFile(fs *flag.FlagSet, nameOrPath, checkpoint string, common *cl
 	opts := campaign.RunOptions{
 		Pool:       campaign.Pool{Workers: common.Workers},
 		Checkpoint: checkpoint,
+		Telemetry:  hub,
 	}
 	var ignored []string
 	fs.Visit(func(f *flag.Flag) {
@@ -174,7 +195,7 @@ func runCampaignFile(fs *flag.FlagSet, nameOrPath, checkpoint string, common *cl
 			opts.Engine = &spec
 		case "seed":
 			c.Base.Seed = common.Seed
-		case "campaign", "checkpoint", "list":
+		case "campaign", "checkpoint", "list", "telemetry":
 		default:
 			ignored = append(ignored, "-"+f.Name)
 		}
@@ -199,7 +220,7 @@ func runCampaignFile(fs *flag.FlagSet, nameOrPath, checkpoint string, common *cl
 // set) override the file's values, which is what lets CI drive one
 // checked-in file across every backend; any other explicitly-set
 // run-shaping flag is an error rather than a silent no-op.
-func runScenarioFile(fs *flag.FlagSet, path string, common *cli.Common, out io.Writer) error {
+func runScenarioFile(fs *flag.FlagSet, path string, common *cli.Common, hub *telemetry.Hub, out io.Writer) error {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return err
@@ -213,7 +234,7 @@ func runScenarioFile(fs *flag.FlagSet, path string, common *cli.Common, out io.W
 			sc.Engine.Workers = common.Workers
 		case "seed":
 			sc.Seed = common.Seed
-		case "scenario", "list":
+		case "scenario", "list", "telemetry":
 		default:
 			ignored = append(ignored, "-"+f.Name)
 		}
@@ -221,6 +242,12 @@ func runScenarioFile(fs *flag.FlagSet, path string, common *cli.Common, out io.W
 	if len(ignored) > 0 {
 		return fmt.Errorf("%s cannot be combined with -scenario: the file defines the run (only -backend, -workers and -seed override it)",
 			strings.Join(ignored, ", "))
+	}
+	if hub != nil {
+		sc.Telemetry = hub
+		if !hasObserver(sc, "telemetry") {
+			sc.Observers = append(sc.Observers, scenario.ObserverSpec{Name: "telemetry"})
+		}
 	}
 	r, err := scenario.Build(sc)
 	if err != nil {

@@ -35,6 +35,7 @@ import (
 	"specstab/internal/campaign"
 	"specstab/internal/cli"
 	"specstab/internal/experiments"
+	"specstab/internal/telemetry"
 )
 
 func main() {
@@ -69,8 +70,12 @@ func run(args []string, out io.Writer) error {
 		printCatalogue(out)
 		return nil
 	}
+	hub, err := common.StartTelemetry(out)
+	if err != nil {
+		return err
+	}
 	if *campFlag != "" {
-		return runCampaign(fs, *campFlag, *checkpoint, *dump, *csv, common, out)
+		return runCampaign(fs, *campFlag, *checkpoint, *dump, *csv, common, hub, out)
 	}
 	if *checkpoint != "" || *dump {
 		return fmt.Errorf("-checkpoint and -dump need -campaign")
@@ -86,6 +91,10 @@ func run(args []string, out io.Writer) error {
 		list2 = []experiments.Experiment{exp}
 	}
 
+	// Suite progress rides the campaign series: one "cell" per experiment,
+	// published from this goroutine between experiments, so a scrape during
+	// a long suite shows which table is being regenerated.
+	progress := telemetry.NewProgress(hub, len(list2), 0)
 	for _, exp := range list2 {
 		fmt.Fprintf(out, "### %s — %s\n\n", exp.ID, exp.Title)
 		tables, err := exp.Run(cfg)
@@ -99,6 +108,7 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintln(out, t.String())
 			}
 		}
+		progress.CellDone([]string{exp.ID}, "", true)
 	}
 	return nil
 }
@@ -107,7 +117,7 @@ func run(args []string, out io.Writer) error {
 // the campaign. Explicitly set -backend/-workers flags override every
 // cell's engine spec (executions are identical; only cost changes) and an
 // explicit -seed overrides the base seed — mirroring `locksim -scenario`.
-func runCampaign(fs *flag.FlagSet, nameOrPath, checkpoint string, dump, csv bool, common *cli.Common, out io.Writer) error {
+func runCampaign(fs *flag.FlagSet, nameOrPath, checkpoint string, dump, csv bool, common *cli.Common, hub *telemetry.Hub, out io.Writer) error {
 	var c *campaign.Campaign
 	var err error
 	if strings.HasSuffix(nameOrPath, ".json") || strings.ContainsAny(nameOrPath, "/\\") {
@@ -121,6 +131,7 @@ func runCampaign(fs *flag.FlagSet, nameOrPath, checkpoint string, dump, csv bool
 	opts := campaign.RunOptions{
 		Pool:       campaign.Pool{Workers: common.Workers},
 		Checkpoint: checkpoint,
+		Telemetry:  hub,
 	}
 	var ignored []string
 	fs.Visit(func(f *flag.Flag) {
@@ -130,7 +141,7 @@ func runCampaign(fs *flag.FlagSet, nameOrPath, checkpoint string, dump, csv bool
 			opts.Engine = &spec
 		case "seed":
 			c.Base.Seed = common.Seed
-		case "campaign", "checkpoint", "dump", "csv", "list":
+		case "campaign", "checkpoint", "dump", "csv", "list", "telemetry":
 		default:
 			ignored = append(ignored, "-"+f.Name)
 		}

@@ -55,6 +55,10 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -init %q (random, worst, uniform)", *initMode)
 	}
+	hub, err := common.StartTelemetry(out)
+	if err != nil {
+		return err
+	}
 
 	sc := &scenario.Scenario{
 		Name:      "ssme-run",
@@ -69,6 +73,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *traceEvery > 0 {
 		sc.Observers = append(sc.Observers, scenario.ObserverSpec{Name: "trace", Every: *traceEvery})
+	}
+	if hub != nil {
+		sc.Telemetry = hub
+		sc.Observers = append(sc.Observers, scenario.ObserverSpec{Name: "telemetry"})
 	}
 	r, err := scenario.Build(sc)
 	if err != nil {

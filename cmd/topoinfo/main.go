@@ -47,6 +47,9 @@ func run(args []string, out io.Writer) error {
 	if _, err := common.Resolve(); err != nil {
 		return err
 	}
+	if err := common.RejectTelemetry("topoinfo"); err != nil {
+		return err
+	}
 
 	g, err := cli.ParseTopology(*topology, *n, common.Seed)
 	if err != nil {

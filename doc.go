@@ -62,6 +62,19 @@
 // campaign grids plus thin metric extractors, and scenario-built runs
 // are differential-tested to fingerprint identically to hand-built ones.
 //
+// Any run streams live telemetry (DESIGN.md §12): -telemetry addr on
+// the drivers serves Prometheus text on /metrics plus net/http/pprof,
+// fed by internal/telemetry collectors riding the same observer
+// surfaces — engine hook counters, service-level series on a two-stride
+// pump, campaign grid progress from the fold — with a JSONL event
+// stream for storm recoveries and cell completions. Collection is a
+// pure read stamped in logical time (wall time only at the JSONL sink,
+// goroutines only in the HTTP exporter, both allowlisted in the lint
+// policy), so executions fingerprint bitwise identically with telemetry
+// on or off — differential-tested across backends and worker counts
+// (examples/telemetry is a self-scraping soak; BENCH_telemetry.json
+// records the overhead).
+//
 // The determinism and capability contracts above are machine-checked:
 // `go run ./cmd/speclint ./...` (internal/lint, DESIGN.md §10) statically
 // forbids unordered map iteration, wall-clock reads and global randomness

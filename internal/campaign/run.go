@@ -11,6 +11,7 @@ import (
 	"specstab/internal/scenario"
 	"specstab/internal/sim"
 	"specstab/internal/stats"
+	"specstab/internal/telemetry"
 )
 
 // RunOptions configures one grid execution.
@@ -32,6 +33,12 @@ type RunOptions struct {
 	CSV io.Writer
 	// JSONL, when set, receives one JSON object per completed row.
 	JSONL io.Writer
+	// Telemetry, when set, receives live grid progress — cells
+	// done/total/resumed gauges, per-cell fingerprint events, checkpoint
+	// lag — published from the fold, which runs on the caller goroutine
+	// in strict grid order (internal/telemetry's campaign surface). The
+	// hub is campaign-level only; cell trials never share it.
+	Telemetry *telemetry.Hub
 }
 
 // Row is one aggregated grid row.
@@ -147,6 +154,7 @@ func (c *Campaign) Run(opts RunOptions) (*Result, error) {
 	}
 
 	res := &Result{Columns: columns, Table: table, Resumed: resumed}
+	progress := telemetry.NewProgress(opts.Telemetry, len(cells), resumed)
 	// One persistent shard pool shared by every cell×trial engine of the
 	// sweep: the engines' parallel phases reuse the same worker
 	// goroutines instead of starting a pool per engine. Pools never
@@ -197,12 +205,17 @@ func (c *Campaign) Run(opts RunOptions) (*Result, error) {
 				return err
 			}
 		}
+		journaled := false
 		if journal != nil && fresh {
 			line := journalLine{Fingerprint: row.Fingerprint, Labels: cell.Labels, Samples: samples}
 			if err := json.NewEncoder(journal).Encode(line); err != nil {
 				return fmt.Errorf("campaign: checkpoint write: %w", err)
 			}
+			journaled = true
 		}
+		// Resumed cells count as journaled: their samples are already in
+		// the journal, so they carry no checkpoint lag.
+		progress.CellDone(cell.Labels, row.Fingerprint, journaled || !fresh)
 		return nil
 	}
 	if err := forCells(opts.Pool, counts, run, fold); err != nil {

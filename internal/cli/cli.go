@@ -8,11 +8,14 @@ package cli
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"strings"
 
 	"specstab/internal/graph"
 	"specstab/internal/scenario"
 	"specstab/internal/sim"
+	"specstab/internal/telemetry"
 )
 
 // Topologies lists the -topology values understood by ParseTopology.
@@ -56,16 +59,48 @@ type Common struct {
 	Workers int
 	// Seed is the -seed value driving all randomness.
 	Seed int64
+	// Telemetry is the -telemetry listen address ("" = disabled).
+	// Executions are bitwise identical with telemetry on or off
+	// (collection is a pure read; DESIGN.md §12).
+	Telemetry string
 }
 
-// AddCommon registers the shared -backend, -workers and -seed flags on fs
-// with the uniform help and error text of the repository's drivers.
+// AddCommon registers the shared -backend, -workers, -seed and -telemetry
+// flags on fs with the uniform help and error text of the repository's
+// drivers.
 func AddCommon(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.StringVar(&c.Backend, "backend", "auto", "engine execution backend: "+Backends+"; executions are identical for every value")
 	fs.IntVar(&c.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS); results are identical for every value")
 	fs.Int64Var(&c.Seed, "seed", 1, "random seed")
+	fs.StringVar(&c.Telemetry, "telemetry", "", "serve live telemetry — Prometheus /metrics and /debug/pprof/ — on this address (e.g. 127.0.0.1:9090; port 0 picks one; empty disables); executions are identical either way")
 	return c
+}
+
+// StartTelemetry starts the telemetry hub and HTTP exporter when
+// -telemetry was set, printing the bound address (so ":0" requests are
+// scrapeable) to out. It returns a nil hub when the flag is unset. The
+// exporter lives for the remainder of the process.
+func (c *Common) StartTelemetry(out io.Writer) (*telemetry.Hub, error) {
+	if c.Telemetry == "" {
+		return nil, nil
+	}
+	hub := telemetry.New()
+	srv, err := telemetry.Serve(hub, c.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "telemetry : serving /metrics on %s\n", srv.Addr())
+	return hub, nil
+}
+
+// RejectTelemetry returns the uniform error for drivers that accept the
+// common flag set but have no telemetry surface to wire it to.
+func (c *Common) RejectTelemetry(driver string) error {
+	if c.Telemetry == "" {
+		return nil
+	}
+	return fmt.Errorf("-telemetry is not supported by %s (locksim, specbench and ssme serve it)", driver)
 }
 
 // Resolve validates the parsed common flags and returns the engine

@@ -290,6 +290,16 @@ func TestGoroutineIgnoresNonDeterministicPackages(t *testing.T) {
 	}
 }
 
+func TestTelemetryGolden(t *testing.T) {
+	// A telemetry-style package under both audits at once: the exporter
+	// file is goroutine-exempt, the sink file wallclock-exempt, and the
+	// collection file proves both exemptions stay file-scoped.
+	pol := goldenPolicy("telemetry")
+	pol.WallclockExemptFiles["sink.go"] = true
+	pol.GoroutineExemptFiles = set("exporter.go")
+	runGolden(t, "telemetry", pol, RunOptions{Analyzers: []*Analyzer{Wallclock, Goroutine}})
+}
+
 func TestSuppressionGolden(t *testing.T) {
 	// Full suite + unused-suppression checking: the framework's own
 	// diagnostics (unknown directive, missing justification, unused

@@ -61,6 +61,10 @@ func Default() *Policy {
 			"specstab/internal/stats",
 			"specstab/internal/trace",
 			"specstab/internal/experiments",
+			// Telemetry collects on the deterministic state path (hooks,
+			// fold callbacks): its collection side obeys the full contract.
+			// Its two sink files carry the exemptions claimed below.
+			"specstab/internal/telemetry",
 		),
 		WallclockExemptPkgs: set(
 			// The concurrent runtime schedules real goroutines against
@@ -72,6 +76,9 @@ func Default() *Policy {
 		WallclockExemptFiles: set(
 			// E12's wall-clock throughput columns: timing is the payload.
 			"internal/experiments/e12_scaling.go",
+			// The JSONL sink stamps events with wall time at the sink
+			// boundary only — series and events carry logical ticks.
+			"internal/telemetry/jsonl.go",
 		),
 		GoroutineExemptFiles: set(
 			// The persistent shard pool behind the engine's parallel
@@ -81,6 +88,10 @@ func Default() *Policy {
 			// The campaign grid scheduler: cell×trial fan-out with a
 			// deterministic grid-order fold.
 			"internal/campaign/pool.go",
+			// The HTTP exporter's serve loop: it only reads mutex-guarded
+			// snapshots, never the simulation state, so the goroutine
+			// cannot perturb an execution.
+			"internal/telemetry/http.go",
 		),
 		RegistryPkg: "specstab/internal/scenario",
 	}

@@ -1,0 +1,27 @@
+// Package telemetry mirrors internal/telemetry for the golden suite: a
+// deterministic collection side where neither wall-clock reads nor raw go
+// statements are tolerated, next to two allowlisted sink files (the HTTP
+// exporter goroutine, the JSONL wall stamp). Violations seeded here prove
+// the exemptions stay file-scoped.
+package telemetry
+
+import "time"
+
+type hub struct {
+	series map[string]float64
+}
+
+// Collection is a pure read in logical tick time: stamping a sample with
+// wall time or exporting on an unapproved goroutine is flagged.
+func (h *hub) collect() {
+	h.series["specstab_wall_seconds"] = float64(time.Now().Unix()) // want "time.Now reads the wall clock"
+	go h.flush()                                                   // want "go statement in deterministic package telemetry"
+}
+
+// Logical-time bookkeeping and plain calls are fine: no diagnostics.
+func (h *hub) sample(tick int64, v float64) {
+	h.series["specstab_engine_steps_total"] = v
+	h.flush()
+}
+
+func (h *hub) flush() {}

@@ -1,0 +1,16 @@
+package telemetry
+
+import "time"
+
+// This file is allowlisted by the test's policy (WallclockExemptFiles),
+// mirroring internal/telemetry/jsonl.go: the JSONL sink stamps events
+// with wall time at the sink boundary without diagnostics.
+
+type event struct {
+	wall time.Time
+	tick int64
+}
+
+func stampEvent(tick int64) event {
+	return event{wall: time.Now(), tick: tick}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"specstab/internal/sim"
+	"specstab/internal/telemetry"
 	"specstab/internal/trace"
 )
 
@@ -41,6 +42,7 @@ var observerRegistry = []observerEntry{
 	{"speculation", "one convergence-curve point (steps/moves/rounds to legitimacy) for Definition 4 curve fitting"},
 	{"service", "service-level metrics totals (grants, latency, fairness; needs a workload)"},
 	{"steplog", "retained step records (activated vertices and rules) every N steps"},
+	{"telemetry", "streaming metrics: engine counters and service series published every N steps (0 = 64) to a telemetry hub (scenario.Telemetry, or a detached one)"},
 }
 
 // ObserverNames returns the registry names in presentation order.
@@ -74,6 +76,8 @@ func attachObservers[S comparable](r *Run, sc *Scenario, p sim.Protocol[S], eng 
 			o, err = newServiceObserver(r)
 		case "steplog":
 			o = newStepLog(r, spec)
+		case "telemetry":
+			o = newTelemetryObserver(r, sc, eng, spec)
 		default:
 			err = fmt.Errorf("unknown observer %q (choose from: %s)", spec.Name, strings.Join(ObserverNames(), ", "))
 		}
@@ -321,6 +325,62 @@ func (s *ServiceObserver) Report(w io.Writer) {
 	fmt.Fprintln(w, "service totals")
 	fmt.Fprintln(w, "==============")
 	fmt.Fprint(w, s.r.svc.Totals().Render())
+}
+
+// Telemetry streams the run into an internal/telemetry hub: the engine
+// collector on every scenario run, the service pump when the scenario
+// declares a workload, and the storm recovery series at end-of-run.
+// Collection is a pure read off the hook pipeline (DESIGN.md §12), so a
+// run fingerprints identically with this observer attached or absent —
+// the telemetry differential test pins exactly that.
+type Telemetry struct {
+	hub    *telemetry.Hub
+	shared bool // hub injected via Scenario.Telemetry vs detached
+	r      *Run
+}
+
+func newTelemetryObserver[S comparable](r *Run, sc *Scenario, eng *sim.Engine[S], spec ObserverSpec) *Telemetry {
+	t := &Telemetry{hub: sc.Telemetry, shared: sc.Telemetry != nil, r: r}
+	if t.hub == nil {
+		t.hub = telemetry.New()
+	}
+	telemetry.WatchEngine(t.hub, eng, spec.Every)
+	if r.svc != nil {
+		telemetry.WatchService(t.hub, r.svc, telemetry.ServiceOptions{Every: spec.Every})
+	}
+	return t
+}
+
+func (t *Telemetry) finish(r *Run) {
+	// Publish exact final samples regardless of stride alignment, then
+	// the storm recovery table (Storm runs outside the hook strides).
+	telemetry.SampleEngine(t.hub, r.eng)
+	if r.svc != nil {
+		telemetry.SampleService(t.hub, r.svc, true)
+	}
+	if r.recoveries != nil {
+		telemetry.PublishRecoveries(t.hub, r.recoveries)
+	}
+}
+
+// Name implements Observer.
+func (t *Telemetry) Name() string { return "telemetry" }
+
+// Hub returns the hub the observer publishes to (the scenario's shared
+// hub, or the observer's own detached one).
+func (t *Telemetry) Hub() *telemetry.Hub { return t.hub }
+
+// Report implements Observer. The summary is a function of logical time
+// only, so scenario reports stay byte-identical across backends and
+// worker counts (the CI scenarios job diffs exactly that).
+func (t *Telemetry) Report(w io.Writer) {
+	snap := t.hub.Gather()
+	sink := "detached hub"
+	if t.shared {
+		sink = "shared hub"
+	}
+	fmt.Fprintf(w, "telemetry   : %d series, %d events at logical tick %d (%s)\n",
+		len(snap.Series), snap.Events, snap.Tick, sink)
 }
 
 // StepLog retains step records on a stride — the one observer that keeps

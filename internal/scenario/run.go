@@ -21,6 +21,7 @@ type Engine interface {
 	Rounds() int
 	GuardEvals() int64
 	Incremental() bool
+	EnabledCount() int
 	Backend() sim.Backend
 	Workers() int
 	AddHook(sim.Hook) sim.HookID

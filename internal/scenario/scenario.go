@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"specstab/internal/sim"
+	"specstab/internal/telemetry"
 )
 
 // Scenario is one declarative run specification. The zero value of every
@@ -61,6 +62,11 @@ type Scenario struct {
 	Stop StopSpec `json:"stop,omitempty"`
 	// Observers names the measurement pipeline attached to the engine.
 	Observers []ObserverSpec `json:"observers,omitempty"`
+	// Telemetry is the hub the "telemetry" observer publishes to — a
+	// runtime handle like Engine.Pool, injected by drivers that serve
+	// /metrics, never serialized. Nil means the observer runs against a
+	// detached hub of its own (reachable via Run.Observer("telemetry")).
+	Telemetry *telemetry.Hub `json:"-"`
 }
 
 // ProtocolSpec names a protocol and its parameters. Unused parameters must

@@ -105,7 +105,7 @@ func TestBuildErrors(t *testing.T) {
 		{"unknown workload", func(sc *scenario.Scenario) { sc.Workload = &scenario.WorkloadSpec{Kind: "bursty"} }, "unknown workload"},
 		{"open rate out of range", func(sc *scenario.Scenario) { sc.Workload = &scenario.WorkloadSpec{Kind: "open", Rate: -2} }, "rate"},
 		{"unknown observer", func(sc *scenario.Scenario) {
-			sc.Observers = []scenario.ObserverSpec{{Name: "telemetry"}}
+			sc.Observers = []scenario.ObserverSpec{{Name: "flamegraph"}}
 		}, "unknown observer"},
 		{"storm without workload", func(sc *scenario.Scenario) { sc.Storm = &scenario.StormSpec{Bursts: 1} }, "needs a workload"},
 		{"storm without bursts", func(sc *scenario.Scenario) {

@@ -1,0 +1,128 @@
+package service_test
+
+// Edge cases of the metrics pipeline: the empty-window LatencyCDF, the
+// window/totals accounting identity under repeated ResetWindow, and
+// counter behavior across an InjectBurst (Engine.SetConfig) storm burst —
+// the reads the telemetry pump depends on.
+
+import (
+	"testing"
+
+	"specstab/internal/daemon"
+	"specstab/internal/service"
+)
+
+func TestLatencyCDFEmptyWindow(t *testing.T) {
+	t.Parallel()
+	const n = 8
+	p, initial := legitRing(t, n)
+	s, err := service.New(p, daemon.NewSynchronous[int](), initial, 1,
+		service.MustClosedLoop(n, n, 0, 0), service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No tick has run: the window holds no latency sample.
+	if q, ok := s.LatencyCDF([]float64{0.5, 0.99}); ok || q != nil {
+		t.Fatalf("LatencyCDF on an empty window = (%v, %v), want (nil, false)", q, ok)
+	}
+	if m := s.Window(); m.LatP50 != 0 || m.LatMax != 0 {
+		t.Fatalf("empty-window latency summary = p50 %v max %v, want zeros (NaN-free)", m.LatP50, m.LatMax)
+	}
+
+	// Serve some grants, then reset: the fresh window is empty again even
+	// though the totals still hold samples.
+	if err := runFully(t, s, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LatencyCDF([]float64{0.5}); !ok {
+		t.Fatal("LatencyCDF after 200 ticks of a legitimate ring found no grants")
+	}
+	s.ResetWindow()
+	if _, ok := s.LatencyCDF([]float64{0.5}); ok {
+		t.Fatal("LatencyCDF after ResetWindow still reports window samples")
+	}
+	if m := s.Totals(); m.Grants == 0 {
+		t.Fatal("ResetWindow leaked into the running totals")
+	}
+}
+
+func TestWindowTotalsAgreementAcrossResets(t *testing.T) {
+	t.Parallel()
+	const n = 9
+	p, initial := legitRing(t, n)
+	s, err := service.New(p, daemon.NewSynchronous[int](), initial, 2,
+		service.MustClosedLoop(n, 2*n, 0, 3), service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ window counters over consecutive reset periods must equal the
+	// totals — the accounting identity the storm reports rely on.
+	var ticks, requests, grants int64
+	for period := 0; period < 4; period++ {
+		if err := runFully(t, s, 100); err != nil {
+			t.Fatal(err)
+		}
+		w := s.Window()
+		ticks += w.Ticks
+		requests += w.Requests
+		grants += w.Grants
+		// Live-state fields are identical in both snapshots by contract.
+		tot := s.Totals()
+		if w.Backlog != tot.Backlog || w.JainVertices != tot.JainVertices {
+			t.Fatalf("period %d: live-state fields diverge: window (backlog %d, jain %v) vs totals (backlog %d, jain %v)",
+				period, w.Backlog, w.JainVertices, tot.Backlog, tot.JainVertices)
+		}
+		s.ResetWindow()
+		if w2 := s.Window(); w2.Ticks != 0 || w2.Grants != 0 || w2.Requests != 0 {
+			t.Fatalf("period %d: window not empty after reset: %+v", period, w2)
+		}
+	}
+	tot := s.Totals()
+	if tot.Ticks != ticks || tot.Requests != requests || tot.Grants != grants {
+		t.Fatalf("Σ windows (ticks %d, requests %d, grants %d) ≠ totals (ticks %d, requests %d, grants %d)",
+			ticks, requests, grants, tot.Ticks, tot.Requests, tot.Grants)
+	}
+}
+
+func TestCountersAcrossBurst(t *testing.T) {
+	t.Parallel()
+	const n = 12
+	p, initial := legitRing(t, n)
+	s, err := service.New(p, daemon.NewSynchronous[int](), initial, 5,
+		service.MustClosedLoop(n, 2*n, 0, 2), service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runFully(t, s, 300); err != nil {
+		t.Fatal(err)
+	}
+	pre := s.Totals()
+	if pre.UnsafeTicks != 0 {
+		t.Fatalf("unsafe ticks = %d before any fault", pre.UnsafeTicks)
+	}
+	s.ResetWindow()
+
+	// The burst rewrites the protocol configuration through the engine's
+	// SetConfig: totals must keep accumulating monotonically across it
+	// while the fresh window sees only the post-burst period.
+	if err := s.InjectBurst(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFully(t, s, 300); err != nil {
+		t.Fatal(err)
+	}
+	post := s.Totals()
+	w := s.Window()
+	if post.Ticks != pre.Ticks+300 {
+		t.Fatalf("totals ticks = %d across the burst, want %d (monotone accumulation)", post.Ticks, pre.Ticks+300)
+	}
+	if post.Grants < pre.Grants || post.Requests < pre.Requests || post.PrivTicks < pre.PrivTicks {
+		t.Fatalf("totals regressed across the burst: pre %+v post %+v", pre, post)
+	}
+	if w.Ticks != 300 {
+		t.Fatalf("window ticks = %d, want exactly the 300 post-burst ticks", w.Ticks)
+	}
+	if got := post.UnsafeTicks - pre.UnsafeTicks; got != w.UnsafeTicks {
+		t.Fatalf("post-burst unsafe ticks disagree: totals delta %d vs window %d", got, w.UnsafeTicks)
+	}
+}

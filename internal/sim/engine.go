@@ -589,6 +589,16 @@ func (e *Engine[S]) Enabled() []int {
 	return e.rescan()
 }
 
+// EnabledCount returns the size of the engine's most recently computed
+// enabled set without recomputing anything — the side-effect-free read
+// for observers (the telemetry gauges). Unlike Enabled, it never charges
+// a rescan on non-incremental engines, so attaching an observer cannot
+// perturb the guard-evaluation counters it reports. In incremental mode
+// the value is exact after every committed step; otherwise it is the set
+// Step computed before firing — one configuration behind when read from
+// a post-commit hook, which is the accepted staleness of a gauge.
+func (e *Engine[S]) EnabledCount() int { return len(e.enabled) }
+
 // refreshEnabled updates the incremental enabled set after the vertices in
 // activated changed state: every activated vertex's influence set is
 // re-evaluated (batched, and sharded when large) and the enabled list is

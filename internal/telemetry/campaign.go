@@ -1,0 +1,66 @@
+package telemetry
+
+// The campaign progress observer: grid-level series published from the
+// campaign scheduler's fold, which runs sequentially on the caller
+// goroutine in strict cell order — so progress is deterministic in
+// "cells completed" logical time even while trials execute on the pool.
+
+import (
+	"strings"
+)
+
+// Campaign series names.
+const (
+	campCellsTotal   = "specstab_campaign_cells_total"
+	campCellsDone    = "specstab_campaign_cells_done"
+	campCellsResumed = "specstab_campaign_cells_resumed"
+	campLag          = "specstab_campaign_checkpoint_lag"
+)
+
+// Progress publishes live campaign grid progress. A nil *Progress is a
+// valid no-op receiver, so callers thread it through unconditionally.
+type Progress struct {
+	h         *Hub
+	done      int
+	journaled int
+}
+
+// NewProgress declares a grid of total cells (resumed of them replayed
+// from the checkpoint journal) and publishes the initial series. A nil
+// hub returns a nil (no-op) Progress.
+func NewProgress(h *Hub, total, resumed int) *Progress {
+	if h == nil {
+		return nil
+	}
+	p := &Progress{h: h}
+	h.SetGauge(campCellsTotal, "cells in the campaign grid", float64(total))
+	h.SetGauge(campCellsResumed, "cells replayed from the checkpoint journal", float64(resumed))
+	h.SetGauge(campCellsDone, "cells completed (including resumed)", 0)
+	h.SetGauge(campLag, "completed fresh cells not yet in the checkpoint journal", 0)
+	return p
+}
+
+// CellDone records one completed cell: the done/lag gauges advance and a
+// "campaign.cell" event carries the cell's coordinates and checkpoint
+// fingerprint. journaled reports whether the cell's samples were appended
+// to the checkpoint journal (resumed cells and journal-less runs were
+// not, and count toward the checkpoint lag).
+func (p *Progress) CellDone(labels []string, fingerprint string, journaled bool) {
+	if p == nil {
+		return
+	}
+	p.done++
+	if journaled {
+		p.journaled++
+	}
+	p.h.SetGauge(campCellsDone, "cells completed (including resumed)", float64(p.done))
+	p.h.SetGauge(campLag, "completed fresh cells not yet in the checkpoint journal", float64(p.done-p.journaled))
+	p.h.Emit(Event{
+		Tick: int64(p.done),
+		Kind: "campaign.cell",
+		Fields: []Field{
+			{"cell", strings.Join(labels, "×")},
+			{"fp", fingerprint},
+		},
+	})
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+// The engine collector: counter series read off the sim.Engine observer
+// pipeline. The hook copies scalars only — info.Step and len(Activated) —
+// so the StepInfo aliasing contract (hookretain) holds trivially, and
+// EnabledCount is the side-effect-free read (Enabled would charge a
+// rescan on non-incremental engines and change their guard-eval counters,
+// i.e. telemetry would perturb what it measures).
+
+import (
+	"specstab/internal/sim"
+)
+
+// EngineSource is the counter surface the engine collector reads:
+// *sim.Engine[S] for every S satisfies it, and so does the type-erased
+// scenario.Engine view.
+type EngineSource interface {
+	Steps() int
+	Moves() int
+	Rounds() int
+	GuardEvals() int64
+	Incremental() bool
+	EnabledCount() int
+	AddHook(sim.Hook) sim.HookID
+}
+
+// Engine series names — the /metrics catalogue of DESIGN.md §12.
+const (
+	engSteps      = "specstab_engine_steps_total"
+	engMoves      = "specstab_engine_moves_total"
+	engRounds     = "specstab_engine_rounds_total"
+	engGuardEvals = "specstab_engine_guard_evals_total"
+	engEnabled    = "specstab_engine_enabled_vertices"
+	engActivated  = "specstab_engine_activated_vertices"
+)
+
+// WatchEngine attaches the engine collector: every `every` steps (≥1;
+// values <1 default to 64) the engine's counters are mirrored into h.
+// The returned hook id detaches it via RemoveHook. An initial sample is
+// published immediately, so /metrics is populated before the first step.
+func WatchEngine(h *Hub, eng EngineSource, every int) sim.HookID {
+	if every < 1 {
+		every = 64
+	}
+	SampleEngine(h, eng)
+	return eng.AddHook(func(info sim.StepInfo) {
+		if info.Step%every != 0 {
+			return
+		}
+		h.SetGauge(engActivated, "vertices fired by the last sampled step", float64(len(info.Activated)))
+		SampleEngine(h, eng)
+	})
+}
+
+// SampleEngine publishes one sample of eng's counters — the collector's
+// body, exported so observers can publish an exact final sample at
+// end-of-run regardless of stride alignment.
+func SampleEngine(h *Hub, eng EngineSource) {
+	h.SetTick(int64(eng.Steps()))
+	h.SetCounter(engSteps, "daemon-selected engine steps executed", float64(eng.Steps()))
+	h.SetCounter(engMoves, "vertex activations (fired rules) executed", float64(eng.Moves()))
+	h.SetCounter(engRounds, "completed asynchronous rounds", float64(eng.Rounds()))
+	h.SetCounter(engGuardEvals, "guard (EnabledRule) evaluations performed", float64(eng.GuardEvals()))
+	h.SetGauge(engEnabled, "size of the most recently computed enabled set", float64(eng.EnabledCount()))
+}

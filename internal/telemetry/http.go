@@ -1,0 +1,54 @@
+package telemetry
+
+// The HTTP exporter: /metrics in Prometheus text format plus the
+// net/http/pprof profiling endpoints, served from a background goroutine.
+// This file is the package's single goroutine site — allowlisted in
+// internal/lint/policy.go (GoroutineExemptFiles) — and the serving side
+// only ever reads hub copies via Gather, so the exporter can never
+// perturb the deterministic execution it observes.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server is one running exporter.
+type Server struct {
+	hub *Hub
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; port 0 picks a free one — read the bound
+// address back with Addr) and serves /metrics and /debug/pprof/ from a
+// background goroutine until Close.
+func Serve(h *Hub, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.Gather().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "specstab telemetry: /metrics (Prometheus text), /debug/pprof/ (profiles)\n")
+	})
+	s := &Server{hub: h, ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" requests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the exporter and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,60 @@
+package telemetry
+
+// The JSONL event sink: one JSON object per line, fields in a fixed
+// order, suitable for tailing during soaks. Events arrive tick-stamped in
+// logical time; the wall stamp is added here, at the sink boundary — the
+// package's single wall-clock site, allowlisted in
+// internal/lint/policy.go (WallclockExemptFiles). Logical content is
+// byte-deterministic; only the "wall" field varies between runs.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLSink streams events to w as JSON lines.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // injected by tests for a stable wall stamp
+}
+
+// NewJSONL returns a sink writing one JSON object per event to w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, now: time.Now}
+}
+
+// Event implements EventSink: {"wall":...,"tick":...,"kind":...,fields...}.
+// Fields render in their declared order (no map iteration anywhere), so
+// two runs differ at most in the wall stamps.
+func (s *JSONLSink) Event(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"wall":`...)
+	buf = appendJSON(buf, s.now().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"tick":`...)
+	buf = appendJSON(buf, e.Tick)
+	buf = append(buf, `,"kind":`...)
+	buf = appendJSON(buf, e.Kind)
+	for _, f := range e.Fields {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, f.Value)
+	}
+	buf = append(buf, '}', '\n')
+	s.w.Write(buf)
+}
+
+// appendJSON marshals v onto buf (errors render as null — event payloads
+// are plain scalars, so this is unreachable in practice).
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return append(buf, "null"...)
+	}
+	return append(buf, b...)
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+// The service pump: client-observed series read off a running
+// service.Sim. Everything here is a pure read — crucially it never calls
+// ResetWindow (the window counters are part of the service fingerprint)
+// and never touches the engine beyond its own stride hook. Cheap O(1)
+// accessors (ticks, grants, backlog, privilege-set size) publish on the
+// base stride; the full Metrics snapshot (latency percentiles, Jain
+// fairness, starvation ages — an O(backlog log backlog) computation) on
+// the heavy stride, so attaching the pump to a million-client soak stays
+// inside the overhead budget (BENCH_telemetry.json).
+
+import (
+	"fmt"
+
+	"specstab/internal/service"
+	"specstab/internal/sim"
+)
+
+// Service series names.
+const (
+	svcTicks       = "specstab_service_ticks_total"
+	svcRequests    = "specstab_service_requests_total"
+	svcGrants      = "specstab_service_grants_total"
+	svcGrantsTick  = "specstab_service_grants_per_tick"
+	svcLatency     = "specstab_service_latency_ticks"
+	svcLatencyMax  = "specstab_service_latency_ticks_max"
+	svcJainVerts   = "specstab_service_jain_vertices"
+	svcJainClients = "specstab_service_jain_clients"
+	svcBacklog     = "specstab_service_backlog"
+	svcStarveP95   = "specstab_service_starvation_age_ticks_p95"
+	svcStarveMax   = "specstab_service_starvation_age_ticks_max"
+	svcUnsafe      = "specstab_service_unsafe_ticks_total"
+	svcWastedIdle  = "specstab_service_wasted_idle_total"
+	svcWastedBusy  = "specstab_service_wasted_busy_total"
+	svcPrivTicks   = "specstab_service_priv_ticks_total"
+	svcPrivileged  = "specstab_service_privileged_vertices"
+)
+
+// Storm series names (published by PublishRecoveries).
+const (
+	stormBursts  = "specstab_storm_bursts_total"
+	stormStall   = "specstab_storm_stall_ticks"
+	stormLegit   = "specstab_storm_legit_ticks"
+	stormUnsafe  = "specstab_storm_unsafe_ticks"
+	stormResumed = "specstab_storm_resumed"
+)
+
+// ServiceOptions tunes the pump's strides.
+type ServiceOptions struct {
+	// Every is the cheap-series stride in ticks (<1 = 64): running totals
+	// and live gauges with O(1) reads.
+	Every int
+	// HeavyEvery is the snapshot stride (<1 = 32·Every) for the series
+	// that cost a full Metrics computation: latency percentiles, fairness
+	// indices, starvation ages.
+	HeavyEvery int
+}
+
+// WatchService attaches the service pump to s's engine hook pipeline and
+// publishes an initial sample. The returned hook id detaches it.
+func WatchService(h *Hub, s *service.Sim, opt ServiceOptions) sim.HookID {
+	every := opt.Every
+	if every < 1 {
+		every = 64
+	}
+	heavy := opt.HeavyEvery
+	if heavy < 1 {
+		heavy = 32 * every
+	}
+	SampleService(h, s, true)
+	return s.Engine().AddHook(func(info sim.StepInfo) {
+		if info.Step%every != 0 {
+			return
+		}
+		SampleService(h, s, info.Step%heavy == 0)
+	})
+}
+
+// SampleService publishes one sample of s's client-observed series; with
+// heavy set it additionally takes the full Totals() snapshot (percentiles,
+// fairness, starvation). Exported so observers can publish an exact final
+// sample at end-of-run.
+func SampleService(h *Hub, s *service.Sim, heavy bool) {
+	h.SetTick(s.Ticks())
+	h.SetCounter(svcTicks, "service ticks executed", float64(s.Ticks()))
+	h.SetCounter(svcGrants, "critical-section grants issued", float64(s.Grants()))
+	h.SetGauge(svcBacklog, "requests currently waiting", float64(s.Backlog()))
+	h.SetGauge(svcPrivileged, "size of the current privilege set", float64(s.PrivilegedCount()))
+	if !heavy {
+		return
+	}
+	m := s.Totals()
+	h.SetCounter(svcRequests, "critical-section requests admitted", float64(m.Requests))
+	h.SetCounter(svcUnsafe, "ticks exposing more privileges than capacity", float64(m.UnsafeTicks))
+	h.SetCounter(svcWastedIdle, "privileged vertex-ticks with an empty queue", float64(m.WastedIdle))
+	h.SetCounter(svcWastedBusy, "privileged vertex-ticks blocked by capacity", float64(m.WastedBusy))
+	h.SetCounter(svcPrivTicks, "privilege observations (vertex-ticks)", float64(m.PrivTicks))
+	h.SetGauge(svcGrantsTick, "served throughput since construction", m.GrantsPerTick)
+	h.SetGauge(svcLatency, "grant latency in ticks waited", m.LatP50, Label{"quantile", "0.5"})
+	h.SetGauge(svcLatency, "grant latency in ticks waited", m.LatP95, Label{"quantile", "0.95"})
+	h.SetGauge(svcLatency, "grant latency in ticks waited", m.LatP99, Label{"quantile", "0.99"})
+	h.SetGauge(svcLatencyMax, "worst grant latency in ticks", m.LatMax)
+	h.SetGauge(svcJainVerts, "Jain fairness over per-vertex grant counts", m.JainVertices)
+	h.SetGauge(svcJainClients, "Jain fairness over per-client grant counts", m.JainClients)
+	h.SetGauge(svcStarveP95, "95th-percentile age of waiting requests", m.StarveP95)
+	h.SetGauge(svcStarveMax, "worst age of waiting requests", m.StarveMax)
+}
+
+// PublishRecoveries exports a storm's client-observed recovery table:
+// per-burst gauges (labelled burst="1"..) and one "storm.recovery" event
+// per burst, stamped at the burst's injection tick.
+func PublishRecoveries(h *Hub, recs []service.Recovery) {
+	h.SetCounter(stormBursts, "fault bursts injected", float64(len(recs)))
+	for i, r := range recs {
+		burst := Label{"burst", fmt.Sprintf("%d", i+1)}
+		resumed := 0.0
+		if r.Resumed {
+			resumed = 1
+		}
+		h.SetGauge(stormStall, "ticks the grant stream stalled after the burst", float64(r.StallTicks), burst)
+		h.SetGauge(stormLegit, "ticks to protocol-observed legitimacy re-entry (-1 = none)", float64(r.LegitTicks), burst)
+		h.SetGauge(stormUnsafe, "unsafe ticks exposed while re-stabilizing", float64(r.UnsafeTicks), burst)
+		h.SetGauge(stormResumed, "whether the grant stream resumed in the horizon", resumed, burst)
+		h.Emit(Event{
+			Tick: r.BurstTick,
+			Kind: "storm.recovery",
+			Fields: []Field{
+				{"burst", i + 1},
+				{"resumed", r.Resumed},
+				{"stallTicks", r.StallTicks},
+				{"legitTicks", r.LegitTicks},
+				{"unsafeTicks", r.UnsafeTicks},
+				{"preGrantsPerTick", r.Pre.GrantsPerTick},
+				{"postLatP95", r.Post.LatP95},
+			},
+		})
+	}
+}

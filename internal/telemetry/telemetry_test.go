@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func gatherValue(t *testing.T, h *Hub, name string, labels ...Label) float64 {
+	t.Helper()
+	key := seriesKey(name, labels)
+	for _, m := range h.Gather().Series {
+		if m.key == key {
+			return m.Value
+		}
+	}
+	t.Fatalf("series %s%s not found", name, renderLabels(labels))
+	return 0
+}
+
+func TestHubOverwritesByIdentity(t *testing.T) {
+	h := New()
+	h.SetGauge("g", "a gauge", 1)
+	h.SetGauge("g", "a gauge", 2)
+	h.SetCounter("c", "a counter", 10, Label{"x", "1"})
+	h.SetCounter("c", "a counter", 20, Label{"x", "2"})
+	h.SetCounter("c", "a counter", 30, Label{"x", "1"})
+
+	snap := h.Gather()
+	if len(snap.Series) != 3 {
+		t.Fatalf("want 3 series (overwrite, not append), got %d: %v", len(snap.Series), snap.Series)
+	}
+	if v := gatherValue(t, h, "g"); v != 2 {
+		t.Errorf("g = %v, want the last published 2", v)
+	}
+	if v := gatherValue(t, h, "c", Label{"x", "1"}); v != 30 {
+		t.Errorf(`c{x="1"} = %v, want 30`, v)
+	}
+	if v := gatherValue(t, h, "c", Label{"x", "2"}); v != 20 {
+		t.Errorf(`c{x="2"} = %v, want 20`, v)
+	}
+}
+
+func TestGatherSortedAndIsolated(t *testing.T) {
+	h := New()
+	h.SetGauge("zeta", "", 1)
+	h.SetGauge("alpha", "", 2)
+	h.SetGauge("mid", "", 3, Label{"q", "0.5"})
+
+	snap := h.Gather()
+	for i := 1; i < len(snap.Series); i++ {
+		if snap.Series[i-1].key >= snap.Series[i].key {
+			t.Fatalf("snapshot not sorted at %d: %q ≥ %q", i, snap.Series[i-1].key, snap.Series[i].key)
+		}
+	}
+	// The snapshot is a copy: mutating it must not reach the hub.
+	snap.Series[0].Value = 99
+	if v := gatherValue(t, h, "alpha"); v != 2 {
+		t.Errorf("hub value changed through a snapshot copy: alpha = %v", v)
+	}
+}
+
+func TestSetTickMonotone(t *testing.T) {
+	h := New()
+	h.SetTick(10)
+	h.SetTick(5)
+	if got := h.Gather().Tick; got != 10 {
+		t.Errorf("tick = %d, want the monotone max 10", got)
+	}
+	h.Emit(Event{Tick: 20, Kind: "e"})
+	if got := h.Gather().Tick; got != 20 {
+		t.Errorf("tick after Emit = %d, want 20", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	h := New()
+	h.SetCounter("specstab_test_total", "a counter", 42)
+	h.SetGauge("specstab_test_lat", "a quantile gauge", 1.5, Label{"quantile", "0.5"})
+	h.SetGauge("specstab_test_lat", "a quantile gauge", 9.5, Label{"quantile", "0.99"})
+
+	var b strings.Builder
+	if err := h.Gather().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP specstab_test_lat a quantile gauge
+# TYPE specstab_test_lat gauge
+specstab_test_lat{quantile="0.5"} 1.5
+specstab_test_lat{quantile="0.99"} 9.5
+# HELP specstab_test_total a counter
+# TYPE specstab_test_total counter
+specstab_test_total 42
+`
+	if b.String() != want {
+		t.Errorf("rendered exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	h := New()
+	h.SetGauge("g", "", 1, Label{"k", "a\\b\"c\nd"})
+	var b strings.Builder
+	if err := h.Gather().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{k="a\\b\"c\nd"} 1` + "\n"
+	if got := b.String(); !strings.HasSuffix(got, want) {
+		t.Errorf("escaped label line = %q, want suffix %q", got, want)
+	}
+}
+
+func TestSeriesKeyDistinguishesLabelBoundaries(t *testing.T) {
+	a := seriesKey("a", []Label{{"b", "c"}})
+	b := seriesKey("ab", []Label{{"", "c"}})
+	if a == b {
+		t.Fatalf("seriesKey collision: %q", a)
+	}
+}
+
+type captureSink struct{ events []Event }
+
+func (c *captureSink) Event(e Event) { c.events = append(c.events, e) }
+
+func TestEmitReachesSinksInOrder(t *testing.T) {
+	h := New()
+	a, b := &captureSink{}, &captureSink{}
+	h.AddSink(a)
+	h.AddSink(b)
+	h.Emit(Event{Tick: 1, Kind: "x"})
+	h.Emit(Event{Tick: 2, Kind: "y"})
+	for _, s := range []*captureSink{a, b} {
+		if len(s.events) != 2 || s.events[0].Kind != "x" || s.events[1].Kind != "y" {
+			t.Fatalf("sink saw %v, want [x y]", s.events)
+		}
+	}
+	if got := h.Gather().Events; got != 2 {
+		t.Errorf("event count = %d, want 2", got)
+	}
+}
+
+func TestJSONLStableUpToWallStamp(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONL(&b)
+	s.now = func() time.Time { return time.Unix(0, 0) }
+	s.Event(Event{Tick: 7, Kind: "storm.recovery", Fields: []Field{
+		{"burst", 1},
+		{"resumed", true},
+		{"note", "a\"b"},
+	}})
+	want := `{"wall":"1970-01-01T00:00:00Z","tick":7,"kind":"storm.recovery","burst":1,"resumed":true,"note":"a\"b"}` + "\n"
+	if b.String() != want {
+		t.Errorf("JSONL line:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress = NewProgress(nil, 10, 0)
+	p.CellDone([]string{"a"}, "fp", true) // must not panic
+}
+
+func TestProgressSeries(t *testing.T) {
+	h := New()
+	sink := &captureSink{}
+	h.AddSink(sink)
+	p := NewProgress(h, 4, 1)
+	p.CellDone([]string{"ring", "16"}, "deadbeef", true)
+	p.CellDone([]string{"ring", "32"}, "cafe", false)
+
+	if v := gatherValue(t, h, campCellsTotal); v != 4 {
+		t.Errorf("cells_total = %v, want 4", v)
+	}
+	if v := gatherValue(t, h, campCellsResumed); v != 1 {
+		t.Errorf("cells_resumed = %v, want 1", v)
+	}
+	if v := gatherValue(t, h, campCellsDone); v != 2 {
+		t.Errorf("cells_done = %v, want 2", v)
+	}
+	if v := gatherValue(t, h, campLag); v != 1 {
+		t.Errorf("checkpoint_lag = %v, want 1 (one unjournaled cell)", v)
+	}
+	if len(sink.events) != 2 || sink.events[0].Kind != "campaign.cell" {
+		t.Fatalf("events = %v, want two campaign.cell records", sink.events)
+	}
+	if sink.events[1].Fields[0].Value != "ring×32" {
+		t.Errorf("cell coordinate = %v, want ring×32", sink.events[1].Fields[0].Value)
+	}
+}
+
+func TestServeScrape(t *testing.T) {
+	h := New()
+	h.SetCounter("specstab_test_total", "a counter", 7)
+	srv, err := Serve(h, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "specstab_test_total 7") {
+		t.Errorf("scrape missing series:\n%s", body)
+	}
+
+	// pprof is mounted on the same mux.
+	pp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d, want 200", pp.StatusCode)
+	}
+}
