@@ -75,6 +75,15 @@
 // (examples/telemetry is a self-scraping soak; BENCH_telemetry.json
 // records the overhead).
 //
+// The same execution deploys across OS processes (DESIGN.md §13):
+// internal/netrun shards the ring's vertices over nodes that exchange
+// packed flat-state frames over TCP in BSP rounds (a slow peer stalls a
+// round, never corrupts it), cmd/lockd serves acquire/release/status on
+// named locks over HTTP/JSON with round-denominated leases, and each
+// node journals the effective schedule so `lockd -replay` can re-verify
+// the whole run against the deterministic engine fingerprint-by-
+// fingerprint (examples/lockd is the end-to-end walkthrough).
+//
 // The determinism and capability contracts above are machine-checked:
 // `go run ./cmd/speclint ./...` (internal/lint, DESIGN.md §10) statically
 // forbids unordered map iteration, wall-clock reads and global randomness

@@ -94,13 +94,20 @@ func (c *Common) StartTelemetry(out io.Writer) (*telemetry.Hub, error) {
 	return hub, nil
 }
 
+// TelemetryDrivers lists the drivers that serve the -telemetry flag.
+// RejectTelemetry names them, so adding a serving driver here is the
+// whole registration — the accept list is maintained data, not prose
+// baked into an error string.
+var TelemetryDrivers = []string{"locksim", "lockd", "specbench", "ssme"}
+
 // RejectTelemetry returns the uniform error for drivers that accept the
 // common flag set but have no telemetry surface to wire it to.
 func (c *Common) RejectTelemetry(driver string) error {
 	if c.Telemetry == "" {
 		return nil
 	}
-	return fmt.Errorf("-telemetry is not supported by %s (locksim, specbench and ssme serve it)", driver)
+	return fmt.Errorf("-telemetry is not supported by %s (%s serve it)",
+		driver, strings.Join(TelemetryDrivers, ", "))
 }
 
 // Resolve validates the parsed common flags and returns the engine

@@ -41,6 +41,15 @@ func TestParseDaemonAll(t *testing.T) {
 	t.Parallel()
 	for _, name := range strings.Split(Daemons, ", ") {
 		d, err := ParseDaemon[int](name, 8, 0.5)
+		if name == "recorded" {
+			// The recorded daemon replays an injected schedule (netrun
+			// journals carry one); no flag can supply it, so the parser
+			// must refuse rather than build a daemon that panics later.
+			if err == nil || !strings.Contains(err.Error(), "schedule") {
+				t.Errorf("recorded: want an injected-schedule error, got %v", err)
+			}
+			continue
+		}
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -84,5 +93,32 @@ func TestAddCommonDefaultsAndResolve(t *testing.T) {
 	c2.Backend = "nonsense"
 	if _, err := c2.Resolve(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
 		t.Fatalf("want the uniform unknown-backend error, got %v", err)
+	}
+}
+
+func TestRejectTelemetryNamesTheServingDrivers(t *testing.T) {
+	t.Parallel()
+	c := &Common{}
+	if err := c.RejectTelemetry("specsim"); err != nil {
+		t.Fatalf("unset -telemetry must pass: %v", err)
+	}
+	c.Telemetry = "127.0.0.1:0"
+	err := c.RejectTelemetry("specsim")
+	if err == nil {
+		t.Fatal("set -telemetry on a non-serving driver must fail")
+	}
+	for _, d := range TelemetryDrivers {
+		if !strings.Contains(err.Error(), d) {
+			t.Errorf("error %q omits serving driver %q", err, d)
+		}
+	}
+	found := false
+	for _, d := range TelemetryDrivers {
+		if d == "lockd" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lockd serves -telemetry and must be in TelemetryDrivers")
 	}
 }

@@ -300,6 +300,18 @@ func TestTelemetryGolden(t *testing.T) {
 	runGolden(t, "telemetry", pol, RunOptions{Analyzers: []*Analyzer{Wallclock, Goroutine}})
 }
 
+func TestNetrunGolden(t *testing.T) {
+	// The networked runtime's policy shape: the whole package is audited
+	// as deterministic (the round loop is an execution of the model; the
+	// replay oracle pins it), while the transport file owns every clock
+	// and the write-pump goroutine. Seeded violations in the round loop
+	// prove the exemption stays file-scoped.
+	pol := goldenPolicy("netrun")
+	pol.WallclockExemptFiles["transport.go"] = true
+	pol.GoroutineExemptFiles = set("transport.go")
+	runGolden(t, "netrun", pol, RunOptions{Analyzers: []*Analyzer{Wallclock, Goroutine}})
+}
+
 func TestSuppressionGolden(t *testing.T) {
 	// Full suite + unused-suppression checking: the framework's own
 	// diagnostics (unknown directive, missing justification, unused

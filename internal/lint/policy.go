@@ -65,6 +65,11 @@ func Default() *Policy {
 			// fold callbacks): its collection side obeys the full contract.
 			// Its two sink files carry the exemptions claimed below.
 			"specstab/internal/telemetry",
+			// The networked runtime's round loop is a BSP superstep over
+			// the flat kernels — deterministic given the journaled schedule
+			// (the replay oracle pins it). Its transport, client-server and
+			// harness files carry the exemptions claimed below.
+			"specstab/internal/netrun",
 		),
 		WallclockExemptPkgs: set(
 			// The concurrent runtime schedules real goroutines against
@@ -79,6 +84,11 @@ func Default() *Policy {
 			// The JSONL sink stamps events with wall time at the sink
 			// boundary only — series and events carry logical ticks.
 			"internal/telemetry/jsonl.go",
+			// netrun's entire wall-clock surface: frame deadlines, dial
+			// backoff, barrier patience. Everything above it reasons in
+			// rounds (leases included), which is what keeps the journal
+			// replayable.
+			"internal/netrun/transport.go",
 		),
 		GoroutineExemptFiles: set(
 			// The persistent shard pool behind the engine's parallel
@@ -92,6 +102,13 @@ func Default() *Policy {
 			// snapshots, never the simulation state, so the goroutine
 			// cannot perturb an execution.
 			"internal/telemetry/http.go",
+			// netrun's concurrency boundary: the per-connection write pump,
+			// the client HTTP server, and the in-process cluster harness's
+			// per-node round loops. The round loop itself never spawns — a
+			// node's execution is single-threaded between barriers.
+			"internal/netrun/transport.go",
+			"internal/netrun/httpd.go",
+			"internal/netrun/cluster.go",
 		),
 		RegistryPkg: "specstab/internal/scenario",
 	}

@@ -1,0 +1,35 @@
+// Package netrun mirrors internal/netrun for the golden suite: a
+// deterministic round loop (BSP supersteps over packed shards) next to an
+// allowlisted transport file that owns every clock and goroutine. The
+// violations seeded here prove a wall-clock read or a stray goroutine in
+// the round loop is flagged even though the sibling file is exempt.
+package netrun
+
+import "time"
+
+type node struct {
+	round int64
+	st    []int64
+	conn  *conn
+}
+
+// The round loop reasons purely in rounds: leases, barriers and budgets
+// are round counts. Reading the wall clock or spawning mid-round breaks
+// the journal's replayability and is flagged.
+func (nd *node) run() {
+	deadline := time.Now().Add(time.Second) // want "time.Now reads the wall clock"
+	_ = deadline
+	go nd.commit() // want "go statement in deterministic package netrun"
+}
+
+// Round-denominated bookkeeping and Duration values are fine: no
+// diagnostics.
+func (nd *node) step(lease int64, timeout time.Duration) {
+	nd.round++
+	if nd.round > lease {
+		nd.commit()
+	}
+	nd.conn.send(nil, timeout)
+}
+
+func (nd *node) commit() {}

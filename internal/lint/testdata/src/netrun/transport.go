@@ -1,0 +1,40 @@
+package netrun
+
+import "time"
+
+// This file is allowlisted by the test's policy (both
+// WallclockExemptFiles and GoroutineExemptFiles), mirroring
+// internal/netrun/transport.go: frame deadlines, dial backoff and the
+// per-connection write pump are the runtime's sanctioned wall-clock and
+// concurrency surface — no diagnostics.
+
+type conn struct {
+	out  chan []byte
+	quit chan struct{}
+}
+
+func dial(backoff time.Duration) *conn {
+	time.Sleep(backoff)
+	c := &conn{out: make(chan []byte, 8), quit: make(chan struct{})}
+	go c.pump()
+	return c
+}
+
+func (c *conn) pump() {
+	for {
+		select {
+		case <-c.out:
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+func (c *conn) send(payload []byte, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	_ = deadline
+	select {
+	case c.out <- payload:
+	case <-time.After(timeout):
+	}
+}

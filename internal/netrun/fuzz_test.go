@@ -1,0 +1,45 @@
+package netrun
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// FuzzFrameDecode holds the decoder to its contract: no input panics, and
+// every input it accepts is the canonical encoding of the frame it
+// returns (re-encoding reproduces the bytes exactly). That second half is
+// what lets the transport treat DecodeFrame(AppendFrame(f)) as identity
+// without trusting the peer.
+func FuzzFrameDecode(f *testing.F) {
+	for _, g := range goldenFrames {
+		raw, err := hex.DecodeString(g.hex)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		// Truncations and single-byte corruptions of valid frames are the
+		// interesting seed neighborhood.
+		f.Add(raw[:len(raw)/2])
+		if len(raw) > 8 {
+			flip := append([]byte(nil), raw...)
+			flip[8] ^= 0x80
+			f.Add(flip)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x50, 0x4e, 0x52, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		dec, err := DecodeFrame(p)
+		if err != nil {
+			return
+		}
+		re, err := AppendFrame(nil, dec)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", dec, err)
+		}
+		if !bytes.Equal(p, re) {
+			t.Fatalf("accepted a non-canonical encoding\n   in %x\nreenc %x", p, re)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package netrun
+
+// The round journal: the networked run's evidence trail. Each node
+// streams one JSONL record per committed round — the union of vertices
+// activated (the round's effective daemon choice) and the configuration
+// fingerprint after applying it — under a header carrying the full
+// scenario. Replay (replay.go) turns any node's journal back into a
+// deterministic in-process execution; identical journals across nodes
+// are the replication check, a fingerprint-matching replay is the
+// semantics check. Fingerprints are serialized as hex strings because
+// JSON numbers cannot carry 64 uncorrupted bits.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"specstab/internal/scenario"
+)
+
+// Header is the journal's first record: everything Replay needs to
+// rebuild the execution, plus the writing node's identity for reports.
+type Header struct {
+	Kind     string             `json:"kind"` // "header"
+	Scenario *scenario.Scenario `json:"scenario"`
+	Nodes    int                `json:"nodes"`
+	Node     int                `json:"node"`
+	Lease    int                `json:"lease"`
+	Capacity int                `json:"capacity"`
+	// InitFP is the fingerprint of the initial configuration, hex.
+	InitFP string `json:"initFP"`
+}
+
+// Entry is one committed round.
+type Entry struct {
+	Kind  string `json:"kind"` // "round"
+	Round int64  `json:"round"`
+	// Sel is the round's effective schedule: the ascending union of every
+	// node's activated vertices.
+	Sel []int `json:"sel"`
+	// FP is the configuration fingerprint after the round, hex.
+	FP string `json:"fp"`
+}
+
+// Journal is a fully loaded journal.
+type Journal struct {
+	Header  Header
+	Entries []Entry
+}
+
+// Schedule extracts the recorded daemon's input: one activation list per
+// round, in round order.
+func (j *Journal) Schedule() [][]int {
+	s := make([][]int, len(j.Entries))
+	for i, e := range j.Entries {
+		s[i] = e.Sel
+	}
+	return s
+}
+
+// fpString and parseFP are the journal's fingerprint codec.
+func fpString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+func parseFP(s string) (uint64, error) {
+	fp, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("netrun: fingerprint %q is not 64-bit hex", s)
+	}
+	return fp, nil
+}
+
+// journalWriter streams records to an optional sink while accumulating
+// the in-memory Journal the harness and tests read back.
+type journalWriter struct {
+	mem Journal
+	enc *json.Encoder
+}
+
+func newJournalWriter(h Header, sink io.Writer) (*journalWriter, error) {
+	jw := &journalWriter{mem: Journal{Header: h}}
+	if sink != nil {
+		jw.enc = json.NewEncoder(sink)
+	}
+	return jw, jw.emit(h)
+}
+
+func (jw *journalWriter) emit(rec any) error {
+	if jw.enc == nil {
+		return nil
+	}
+	if err := jw.enc.Encode(rec); err != nil {
+		return fmt.Errorf("netrun: writing journal: %w", err)
+	}
+	return nil
+}
+
+func (jw *journalWriter) round(e Entry) error {
+	jw.mem.Entries = append(jw.mem.Entries, e)
+	return jw.emit(e)
+}
+
+// ReadJournal parses a JSONL journal: exactly one header first, then
+// round records in strictly increasing round order starting at 1 (the
+// ordering is what makes the schedule a schedule).
+func ReadJournal(r io.Reader) (*Journal, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var j Journal
+	for line := 1; ; line++ {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("netrun: journal record %d: %w", line, err)
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("netrun: journal record %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "header":
+			if line != 1 {
+				return nil, fmt.Errorf("netrun: journal record %d: second header", line)
+			}
+			if err := json.Unmarshal(raw, &j.Header); err != nil {
+				return nil, fmt.Errorf("netrun: journal header: %w", err)
+			}
+		case "round":
+			if line == 1 {
+				return nil, fmt.Errorf("netrun: journal starts with a round record, not a header")
+			}
+			var e Entry
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("netrun: journal record %d: %w", line, err)
+			}
+			if want := int64(len(j.Entries) + 1); e.Round != want {
+				return nil, fmt.Errorf("netrun: journal record %d: round %d, want %d (rounds must be dense from 1)",
+					line, e.Round, want)
+			}
+			j.Entries = append(j.Entries, e)
+		default:
+			return nil, fmt.Errorf("netrun: journal record %d: unknown kind %q", line, kind.Kind)
+		}
+	}
+	if j.Header.Kind != "header" {
+		return nil, fmt.Errorf("netrun: journal has no header record")
+	}
+	if j.Header.Scenario == nil {
+		return nil, fmt.Errorf("netrun: journal header carries no scenario")
+	}
+	return &j, nil
+}
+
+// LoadJournal reads a journal file.
+func LoadJournal(path string) (*Journal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: %w", err)
+	}
+	defer f.Close()
+	j, err := ReadJournal(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return j, nil
+}

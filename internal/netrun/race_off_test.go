@@ -1,0 +1,7 @@
+//go:build !race
+
+package netrun
+
+// raceDetector reports whether the test binary runs under -race; load
+// tests scale their operation counts to the instrumentation overhead.
+const raceDetector = false

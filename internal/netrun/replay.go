@@ -1,0 +1,97 @@
+package netrun
+
+// Replay is the differential oracle that keeps the networked runtime
+// honest: it rebuilds the journal's scenario through scenario.Build —
+// the same constructor every in-process driver and test uses — injects
+// the journaled schedule as the recorded daemon, and steps the engine
+// round by round, demanding a bitwise fingerprint match after every
+// step. A divergence means the wire execution was NOT an execution of
+// the model (a transport bug, a kernel disagreement, replica drift), and
+// the error says at which round.
+
+import (
+	"fmt"
+
+	"specstab/internal/scenario"
+)
+
+// ReplayResult summarizes a successful replay.
+type ReplayResult struct {
+	// Rounds is the number of journaled rounds re-executed.
+	Rounds int
+	// Moves is the total number of vertex activations replayed.
+	Moves int
+	// Protocol and Daemon identify the execution for reports.
+	Protocol string
+	Daemon   string
+	// FinalFP is the fingerprint after the last round.
+	FinalFP uint64
+}
+
+// Replay re-executes j in process and verifies it. It returns an error
+// describing the first divergence, or the summary of a fully verified
+// journal.
+func Replay(j *Journal) (*ReplayResult, error) {
+	initFP, err := parseFP(j.Header.InitFP)
+	if err != nil {
+		return nil, err
+	}
+	// Clone the scenario: the journaled execution already includes every
+	// scheduling decision, so the replay must run the bare engine — no
+	// workload, no storm, no observers — under the recorded daemon.
+	sc := *j.Header.Scenario
+	sc.Workload = nil
+	sc.Storm = nil
+	sc.Observers = nil
+	sc.Telemetry = nil
+	sc.Stop = scenario.StopSpec{Steps: len(j.Entries)}
+	daemonName := sc.Daemon.Name
+	if daemonName == "" {
+		daemonName = "sync"
+	}
+	sc.Daemon = scenario.DaemonSpec{Name: "recorded", Schedule: j.Schedule()}
+	run, err := scenario.Build(&sc)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: rebuilding the journaled scenario: %w", err)
+	}
+	fingerprint := run.Probes().Fingerprint
+	if fingerprint == nil {
+		return nil, fmt.Errorf("netrun: protocol %q exposes no fingerprint probe", sc.Protocol.Name)
+	}
+	if got := fingerprint(); got != initFP {
+		return nil, fmt.Errorf("netrun: initial configuration diverges: engine %016x, journal %s — the nodes did not start from this scenario",
+			got, j.Header.InitFP)
+	}
+	res := &ReplayResult{
+		Rounds:   len(j.Entries),
+		Protocol: sc.Protocol.Name,
+		Daemon:   daemonName,
+		FinalFP:  initFP,
+	}
+	eng := run.Engine()
+	for i, e := range j.Entries {
+		wantFP, err := parseFP(e.FP)
+		if err != nil {
+			return nil, fmt.Errorf("netrun: round %d: %w", e.Round, err)
+		}
+		progressed, err := eng.Step()
+		if err != nil {
+			// The recorded daemon surfaced a selection the engine rejects:
+			// the journaled vertex was not enabled in the replayed
+			// configuration, i.e. the wire execution diverged here.
+			return nil, fmt.Errorf("netrun: round %d does not replay: %w", e.Round, err)
+		}
+		if !progressed {
+			return nil, fmt.Errorf("netrun: engine terminal at round %d of %d", e.Round, len(j.Entries))
+		}
+		if got := fingerprint(); got != wantFP {
+			return nil, fmt.Errorf("netrun: fingerprint diverges at round %d: engine %016x, journal %s",
+				e.Round, got, e.FP)
+		}
+		res.Moves += len(e.Sel)
+		if i == len(j.Entries)-1 {
+			res.FinalFP = wantFP
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,262 @@
+package netrun
+
+// The peer transport: length-prefixed frames over TCP with deadlines on
+// every read and write, bounded dial retry with linear backoff, and a
+// per-connection write pump so one slow receiver cannot wedge a sender's
+// round loop. This file (together with httpd.go) is the runtime's entire
+// wall-clock surface — everything above it reasons in rounds, and the
+// speclint policy pins that boundary (internal/lint: netrun is audited,
+// transport.go and httpd.go carry the exemptions).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport defaults, overridable per node (Config). The IO timeout is
+// the barrier's patience quantum: a Recv that exceeds it counts one
+// stall, and RecvRetries stalls abandon the round.
+const (
+	defaultIOTimeout   = 2 * time.Second
+	defaultDialRetries = 40
+	defaultDialBackoff = 25 * time.Millisecond
+	// sendDepth is the write pump's queue depth; the round loop enqueues
+	// at most one frame per peer per round, so depth covers transient
+	// receiver lag without unbounded buffering.
+	sendDepth = 8
+)
+
+// Conn is one framed peer connection. Reads happen on the owner's round
+// loop with a deadline per frame; writes go through a pump goroutine fed
+// by a bounded queue, so Send never blocks the round loop for longer
+// than it takes the queue to drain.
+type Conn struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	timeout time.Duration
+
+	out  chan []byte
+	quit chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// newConn wraps an established TCP connection and starts its write pump.
+func newConn(nc net.Conn, timeout time.Duration) *Conn {
+	if timeout <= 0 {
+		timeout = defaultIOTimeout
+	}
+	c := &Conn{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 1<<16),
+		timeout: timeout,
+		out:     make(chan []byte, sendDepth),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.pump()
+	return c
+}
+
+// pump drains the send queue onto the socket, one deadline per frame.
+// The first write error poisons the connection: subsequent Sends fail
+// fast with it instead of queueing into the void. On Close it flushes
+// what is already queued (a just-enqueued bye must reach the peer),
+// then exits.
+func (c *Conn) pump() {
+	defer close(c.done)
+	for {
+		select {
+		case payload := <-c.out:
+			if !c.write(payload) {
+				return
+			}
+		case <-c.quit:
+			for {
+				select {
+				case payload := <-c.out:
+					if !c.write(payload) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// write puts one length-prefixed frame on the socket, reporting whether
+// the pump should keep going.
+func (c *Conn) write(payload []byte) bool {
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		c.fail(fmt.Errorf("netrun: arming write deadline: %w", err))
+		return false
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := c.nc.Write(prefix[:]); err != nil {
+		c.fail(fmt.Errorf("netrun: writing frame prefix: %w", err))
+		return false
+	}
+	if _, err := c.nc.Write(payload); err != nil {
+		c.fail(fmt.Errorf("netrun: writing frame: %w", err))
+		return false
+	}
+	return true
+}
+
+// fail records the connection's first error.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// Err returns the connection's first recorded error, if any.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Send enqueues one encoded payload. The caller must not mutate payload
+// afterwards (the round loop encodes once and fans the same bytes out to
+// every peer). A full queue past the IO timeout, a poisoned connection
+// and a closed connection are all errors.
+func (c *Conn) Send(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("netrun: sending %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	select {
+	case c.out <- payload:
+		return nil
+	case <-c.quit:
+		return errors.New("netrun: send on closed connection")
+	case <-c.done:
+		if err := c.Err(); err != nil {
+			return err
+		}
+		return errors.New("netrun: send on closed connection")
+	case <-time.After(c.timeout):
+		return fmt.Errorf("netrun: peer not draining writes for %v", c.timeout)
+	}
+}
+
+// Recv reads one frame payload, waiting at most the IO timeout. Timeout
+// errors satisfy net.Error.Timeout() — the barrier retries those as
+// stalls; any other error is a dead or corrupt peer.
+func (c *Conn) Recv() ([]byte, error) { return c.recvWithin(c.timeout) }
+
+// RecvPatient reads one frame with an explicit patience window — the
+// handshake path, where a peer that has connected may still be dialing
+// the rest of the mesh before it answers hellos.
+func (c *Conn) RecvPatient(d time.Duration) ([]byte, error) { return c.recvWithin(d) }
+
+func (c *Conn) recvWithin(d time.Duration) ([]byte, error) {
+	if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, fmt.Errorf("netrun: arming read deadline: %w", err)
+	}
+	var prefix [4]byte
+	if _, err := io.ReadFull(c.br, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("netrun: peer announces a %d-byte frame, above MaxFrame %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, fmt.Errorf("netrun: frame body: %w", err)
+	}
+	return payload, nil
+}
+
+// isTimeout reports whether err is a read deadline expiring — the one
+// error class the barrier treats as "slow", not "gone".
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Close shuts the connection down. Safe to call more than once; the
+// round loop is the only Sender, so closing the queue here cannot race a
+// concurrent Send after closed is set.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	// Let the pump flush queued frames (each bounded by the write
+	// deadline) before the socket goes away: a bye enqueued just before
+	// Close must reach the peer.
+	close(c.quit)
+	<-c.done
+	return c.nc.Close()
+}
+
+// dialPeer establishes a framed connection to addr, retrying up to
+// retries times with linearly growing backoff — enough patience for a
+// peer process that is still binding its listener, bounded enough that a
+// never-starting peer fails the run instead of hanging it.
+func dialPeer(addr string, retries int, backoff, timeout time.Duration) (*Conn, error) {
+	if retries <= 0 {
+		retries = defaultDialRetries
+	}
+	if backoff <= 0 {
+		backoff = defaultDialBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * backoff)
+		}
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return newConn(nc, timeout), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("netrun: dialing %s: gave up after %d attempts: %w", addr, retries+1, lastErr)
+}
+
+// acceptPeer waits for one inbound connection, bounded by deadline
+// support when the listener offers it (TCP listeners do).
+func acceptPeer(ln net.Listener, patience, timeout time.Duration) (*Conn, error) {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		if err := d.SetDeadline(time.Now().Add(patience)); err != nil {
+			return nil, fmt.Errorf("netrun: arming accept deadline: %w", err)
+		}
+	}
+	nc, err := ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("netrun: accepting peer: %w", err)
+	}
+	return newConn(nc, timeout), nil
+}
+
+// pace sleeps the configured inter-round interval; the round loop calls
+// it so every other file stays free of wall-clock time.
+func pace(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -35,6 +35,12 @@ type protocolEntry struct {
 	construct func(spec ProtocolSpec, g *graph.Graph, topo string) (any, error)
 	// start builds the full Run.
 	start func(sc *Scenario, g *graph.Graph) (*Run, error)
+	// lock, present on privilege-exposing protocols, builds the lock and
+	// its resolved initial configuration without starting a run — the
+	// netrun nodes' entry point (BuildLock), sharing the exact init glue
+	// start uses so a networked node and its replay engine begin from the
+	// identical configuration.
+	lock func(sc *Scenario, g *graph.Graph) (service.Lock, sim.Config[int], error)
 }
 
 // protocolRegistry is filled by init: the product entry's constructor
@@ -47,16 +53,9 @@ func init() {
 		{
 			name: "ssme", desc: "the paper's speculative mutual exclusion (unison-based privileges)",
 			construct: func(_ ProtocolSpec, g *graph.Graph, _ string) (any, error) { return core.New(g) },
+			lock:      ssmeStart,
 			start: func(sc *Scenario, g *graph.Graph) (*Run, error) {
-				p, err := core.New(g)
-				if err != nil {
-					return nil, err
-				}
-				initial, err := buildInitial[int](sc, p, initBuilders[int]{
-					def: "zero", zero: true,
-					uniform: p.UniformConfig,
-					worst:   p.WorstSyncConfig,
-				})
+				p, initial, err := ssmeStart(sc, g)
 				if err != nil {
 					return nil, err
 				}
@@ -100,16 +99,9 @@ func init() {
 				}
 				return dijkstra.New(g.N(), k)
 			},
+			lock: dijkstraStart,
 			start: func(sc *Scenario, g *graph.Graph) (*Run, error) {
-				pAny, err := protocolByName("dijkstra").construct(sc.Protocol, g, sc.Topology.Name)
-				if err != nil {
-					return nil, err
-				}
-				p := pAny.(*dijkstra.Protocol)
-				initial, err := buildInitial[int](sc, p, initBuilders[int]{
-					def: "zero", zero: true,
-					worst: func() (sim.Config[int], error) { return p.WorstConfig(), nil },
-				})
+				p, initial, err := dijkstraStart(sc, g)
 				if err != nil {
 					return nil, err
 				}
@@ -160,16 +152,9 @@ func init() {
 				}
 				return lexclusion.New(g, l)
 			},
+			lock: lexclusionStart,
 			start: func(sc *Scenario, g *graph.Graph) (*Run, error) {
-				pAny, err := protocolByName("lexclusion").construct(sc.Protocol, g, "")
-				if err != nil {
-					return nil, err
-				}
-				p := pAny.(*lexclusion.Protocol)
-				initial, err := buildInitial[int](sc, p, initBuilders[int]{
-					def: "uniform", zero: true,
-					uniform: p.UniformConfig,
-				})
+				p, initial, err := lexclusionStart(sc, g)
 				if err != nil {
 					return nil, err
 				}
@@ -204,6 +189,82 @@ func init() {
 			},
 		},
 	}
+}
+
+// ssmeStart, dijkstraStart and lexclusionStart are the shared typed
+// starts of the three lock protocols: protocol construction plus the
+// resolved initial configuration. Both the registry start closures and
+// BuildLock go through them, so every consumer resolves identically.
+func ssmeStart(sc *Scenario, g *graph.Graph) (service.Lock, sim.Config[int], error) {
+	p, err := core.New(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	initial, err := buildInitial[int](sc, p, initBuilders[int]{
+		def: "zero", zero: true,
+		uniform: p.UniformConfig,
+		worst:   p.WorstSyncConfig,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, initial, nil
+}
+
+func dijkstraStart(sc *Scenario, g *graph.Graph) (service.Lock, sim.Config[int], error) {
+	pAny, err := protocolByName("dijkstra").construct(sc.Protocol, g, sc.Topology.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := pAny.(*dijkstra.Protocol)
+	initial, err := buildInitial[int](sc, p, initBuilders[int]{
+		def: "zero", zero: true,
+		worst: func() (sim.Config[int], error) { return p.WorstConfig(), nil },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, initial, nil
+}
+
+func lexclusionStart(sc *Scenario, g *graph.Graph) (service.Lock, sim.Config[int], error) {
+	pAny, err := protocolByName("lexclusion").construct(sc.Protocol, g, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	p := pAny.(*lexclusion.Protocol)
+	initial, err := buildInitial[int](sc, p, initBuilders[int]{
+		def: "uniform", zero: true,
+		uniform: p.UniformConfig,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, initial, nil
+}
+
+// BuildLock resolves sc's topology and protocol to a privilege-exposing
+// lock plus its initial configuration, without starting a run. It is how
+// a netrun node bootstraps: every node of a cluster calls it with the
+// identical scenario and obtains the identical (graph, lock, initial)
+// triple that scenario.Build hands the replay oracle's engine.
+func BuildLock(sc *Scenario) (*graph.Graph, service.Lock, sim.Config[int], error) {
+	g, err := BuildTopology(sc.Topology, sc.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ent, err := protocolLookup(sc.Protocol.Name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if ent.lock == nil {
+		return nil, nil, nil, fmt.Errorf("scenario: protocol %q exposes no privileges; netrun needs a lock (ssme, dijkstra, lexclusion)", sc.Protocol.Name)
+	}
+	lock, initial, err := ent.lock(sc, g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, lock, initial, nil
 }
 
 // productFactors constructs the two int-state components of a product.

@@ -115,6 +115,7 @@ var daemonRegistry = []daemonEntry{
 	{"minid", nil, "central, always the smallest enabled id"},
 	{"maxid", nil, "central, always the largest enabled id"},
 	{"distributed", []string{"ud"}, "each enabled vertex fires with probability p"},
+	{"recorded", nil, "replays an injected activation schedule (the netrun replay oracle)"},
 }
 
 // DaemonNames returns the registry names in presentation order.
@@ -147,6 +148,11 @@ func NewDaemon[S comparable](spec DaemonSpec, n int) (sim.Daemon[S], error) {
 			p = 0.5
 		}
 		return daemon.NewDistributed[S](p), nil
+	case "recorded":
+		if len(spec.Schedule) == 0 {
+			return nil, fmt.Errorf("the recorded daemon needs an injected schedule (DaemonSpec.Schedule; netrun journals carry one)")
+		}
+		return daemon.NewRecorded[S](spec.Schedule), nil
 	default:
 		return nil, fmt.Errorf("unknown daemon %q (choose from: %s)", spec.Name, strings.Join(DaemonNames(), ", "))
 	}

@@ -109,6 +109,10 @@ type DaemonSpec struct {
 	// P is the activation probability of the distributed daemon (out of
 	// range falls back to 0.5).
 	P float64 `json:"p,omitempty"`
+	// Schedule is the activation schedule replayed by the recorded daemon
+	// — a runtime handle like Engine.Pool, injected by the netrun replay
+	// oracle (journals carry it), never serialized.
+	Schedule [][]int `json:"-"`
 }
 
 // EngineSpec selects the execution backend and parallelism of the

@@ -63,16 +63,32 @@ type Legitimizer interface {
 
 // Options configures a service simulation beyond the mandatory arguments
 // of New. The zero value means: 1-tick critical sections, capacity 1
-// (mutual exclusion), automatic engine backend.
+// (mutual exclusion), automatic engine backend, no lease bound.
 type Options struct {
 	// Hold is the critical-section hold time in ticks (default 1).
 	Hold int
 	// Capacity bounds the system-wide concurrent grants (default 1; set
 	// ℓ for ℓ-exclusion locks).
 	Capacity int
+	// Lease, when > 0, bounds every grant's residence in the critical
+	// section to Lease ticks regardless of the requested hold: a client
+	// that acquires and disappears (an infinite hold, see HoldTimer)
+	// loses the lock at the lease horizon instead of stalling the
+	// privilege rotation forever. Sim.LeaseExpired counts the reclaims.
+	Lease int
 	// Engine configures the underlying sim.Engine (backend, shard
 	// workers). Every choice produces the identical service execution.
 	Engine sim.Options
+}
+
+// HoldTimer is an optional Workload capability: per-grant hold times. At
+// grant time the service asks the workload how long the admitted client
+// will occupy the critical section: 0 defers to Options.Hold, a positive
+// value is the hold in ticks, and a negative value means the client never
+// releases on its own (it crashed, or vanished mid-section) — without a
+// lease such a grant occupies its vertex and a capacity slot forever.
+type HoldTimer interface {
+	HoldTicks(client int32, rng *rand.Rand) int64
 }
 
 // request is one queued critical-section request.
@@ -102,10 +118,14 @@ func (q *vqueue) pop() request {
 func (q *vqueue) len() int { return len(q.reqs) - q.head }
 
 // hold is one active grant: vertex v serves client until tick end.
+// leased marks grants the lease bound truncated (the client would have
+// stayed longer, or forever) — their completion is a reclaim, not a
+// voluntary release.
 type hold struct {
 	v      int32
 	client int32
 	end    int64
+	leased bool
 }
 
 // Sim drives one mutual-exclusion service execution: a Lock under a
@@ -120,7 +140,11 @@ type Sim struct {
 	n    int
 
 	hold     int64
+	lease    int64
+	holdWl   HoldTimer // non-nil when the workload sets per-grant holds
 	capacity int
+
+	leaseExpired int64
 
 	// Privilege tracking, maintained incrementally when the lock declares
 	// sim.Local (influence != nil): after each step only the activated
@@ -161,6 +185,9 @@ func New(lock Lock, d sim.Daemon[int], initial sim.Config[int], seed int64, wl W
 	if opt.Hold < 1 || opt.Capacity < 1 {
 		return nil, fmt.Errorf("service: hold %d and capacity %d must be ≥ 1", opt.Hold, opt.Capacity)
 	}
+	if opt.Lease < 0 {
+		return nil, fmt.Errorf("service: lease %d must be ≥ 0 (0 disables the bound)", opt.Lease)
+	}
 	eng, err := sim.NewEngineWith(lock, d, initial, seed+1, opt.Engine)
 	if err != nil {
 		return nil, err
@@ -173,6 +200,7 @@ func New(lock Lock, d sim.Daemon[int], initial sim.Config[int], seed int64, wl W
 		rng:      rand.New(rand.NewSource(seed)),
 		n:        n,
 		hold:     int64(opt.Hold),
+		lease:    int64(opt.Lease),
 		capacity: opt.Capacity,
 		priv:     make([]bool, n),
 		queues:   make([]vqueue, n),
@@ -180,6 +208,9 @@ func New(lock Lock, d sim.Daemon[int], initial sim.Config[int], seed int64, wl W
 	}
 	if c := wl.Clients(); c > 0 {
 		s.cGrants = make([]int32, c)
+	}
+	if ht, ok := wl.(HoldTimer); ok {
+		s.holdWl = ht
 	}
 	if l := sim.LocalOf[int](lock); l != nil {
 		s.influence = influenceSets(n, l)
@@ -295,10 +326,13 @@ func (s *Sim) enqueue(client int32, vertex int32) {
 func (s *Sim) Tick() (bool, error) {
 	t := s.tick
 
-	// (1) Completions.
+	// (1) Completions (including lease reclaims of vanished clients).
 	w := 0
 	for _, h := range s.active {
 		if h.end <= t {
+			if h.leased {
+				s.leaseExpired++
+			}
 			s.wl.Completed(h.client, h.v, t, s.rng)
 			continue
 		}
@@ -336,7 +370,7 @@ func (s *Sim) Tick() (bool, error) {
 		}
 		r := s.queues[v].pop()
 		s.waiting--
-		s.active = append(s.active, hold{v: int32(v), client: r.client, end: t + s.hold})
+		s.active = append(s.active, s.newHold(int32(v), r.client, t))
 		lat := float64(t - r.arrival)
 		s.win.grant(lat)
 		s.tot.grant(lat)
@@ -356,6 +390,34 @@ func (s *Sim) Tick() (bool, error) {
 	s.tot.ticks++
 	return true, nil
 }
+
+// newHold prices one grant issued to client at vertex v on tick t: the
+// workload's per-grant hold when it declares one (negative = the client
+// never releases), Options.Hold otherwise, truncated to the lease bound
+// when one is set. An unleased infinite hold ends at the int64 horizon —
+// effectively never, which is exactly the stall a missing lease buys.
+func (s *Sim) newHold(v, client int32, t int64) hold {
+	h := s.hold
+	if s.holdWl != nil {
+		if ht := s.holdWl.HoldTicks(client, s.rng); ht != 0 {
+			h = ht
+		}
+	}
+	end := t + h
+	if h < 0 {
+		end = int64(1)<<62 - 1
+	}
+	leased := false
+	if s.lease > 0 && (h < 0 || h > s.lease) {
+		end = t + s.lease
+		leased = true
+	}
+	return hold{v: v, client: client, end: end, leased: leased}
+}
+
+// LeaseExpired returns the number of grants reclaimed at the lease bound
+// rather than released by their hold expiring naturally.
+func (s *Sim) LeaseExpired() int64 { return s.leaseExpired }
 
 // serverBusy reports whether vertex v currently hosts an active grant.
 func (s *Sim) serverBusy(v int32) bool {

@@ -1,0 +1,65 @@
+package telemetry
+
+// The netrun collector: node and transport series for the networked
+// runtime (DESIGN.md §13). netrun imports this package for the Hub, so
+// the coupling runs through a snapshot struct the node fills — same
+// one-way dependency shape as the engine collector, sampled per
+// committed round by the node's own loop rather than by a hook.
+
+import "strconv"
+
+// NetrunStats is one node's instantaneous counter snapshot.
+type NetrunStats struct {
+	Node, Nodes int
+	Round       int64
+	// Transport counters.
+	FramesOut, FramesIn int64
+	BarrierStalls       int64
+	// Gate counters.
+	Grants, Released, LeaseExpired int64
+	UnsafeGrants                   int64
+	Backlog, Active                int
+	Stalled                        bool
+}
+
+// NetrunSource is implemented by *netrun.Node.
+type NetrunSource interface {
+	NetrunStats() NetrunStats
+}
+
+// Netrun series names — the /metrics catalogue of DESIGN.md §13.
+const (
+	nrRounds       = "specstab_netrun_rounds_total"
+	nrFramesOut    = "specstab_netrun_frames_sent_total"
+	nrFramesIn     = "specstab_netrun_frames_received_total"
+	nrStalls       = "specstab_netrun_barrier_stalls_total"
+	nrGrants       = "specstab_netrun_grants_total"
+	nrReleased     = "specstab_netrun_releases_total"
+	nrLeaseExpired = "specstab_netrun_lease_expired_total"
+	nrUnsafe       = "specstab_netrun_unsafe_grants_total"
+	nrBacklog      = "specstab_netrun_backlog"
+	nrActive       = "specstab_netrun_active_grants"
+	nrStalled      = "specstab_netrun_stalled"
+)
+
+// SampleNetrun publishes one sample of a node's counters.
+func SampleNetrun(h *Hub, src NetrunSource) {
+	s := src.NetrunStats()
+	node := Label{Key: "node", Value: strconv.Itoa(s.Node)}
+	h.SetTick(s.Round)
+	h.SetCounter(nrRounds, "committed BSP rounds", float64(s.Round), node)
+	h.SetCounter(nrFramesOut, "shard frames sent to peers", float64(s.FramesOut), node)
+	h.SetCounter(nrFramesIn, "shard frames received from peers", float64(s.FramesIn), node)
+	h.SetCounter(nrStalls, "barrier receive timeouts (slow peer, round held)", float64(s.BarrierStalls), node)
+	h.SetCounter(nrGrants, "lock grants issued", float64(s.Grants), node)
+	h.SetCounter(nrReleased, "lock grants released by clients", float64(s.Released), node)
+	h.SetCounter(nrLeaseExpired, "grants reclaimed at the lease horizon", float64(s.LeaseExpired), node)
+	h.SetCounter(nrUnsafe, "grants issued while privileges exceeded capacity", float64(s.UnsafeGrants), node)
+	h.SetGauge(nrBacklog, "acquires parked at the gate", float64(s.Backlog), node)
+	h.SetGauge(nrActive, "outstanding grants", float64(s.Active), node)
+	stalled := 0.0
+	if s.Stalled {
+		stalled = 1
+	}
+	h.SetGauge(nrStalled, "1 while the round barrier is stalled on a peer", stalled, node)
+}
