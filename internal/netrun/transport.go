@@ -45,6 +45,11 @@ type Conn struct {
 	quit chan struct{}
 	done chan struct{}
 
+	// wbuf is the pump's scratch: prefix and payload are coalesced here
+	// so each frame costs one write syscall instead of two. Only the
+	// pump goroutine touches it.
+	wbuf []byte
+
 	mu     sync.Mutex
 	err    error
 	closed bool
@@ -96,19 +101,18 @@ func (c *Conn) pump() {
 }
 
 // write puts one length-prefixed frame on the socket, reporting whether
-// the pump should keep going.
+// the pump should keep going. Prefix and payload go out in a single
+// write call: two syscalls per frame halved the round rate on loopback
+// rings, and TCP gains nothing from seeing the prefix early.
 func (c *Conn) write(payload []byte) bool {
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
 		c.fail(fmt.Errorf("netrun: arming write deadline: %w", err))
 		return false
 	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
-	if _, err := c.nc.Write(prefix[:]); err != nil {
-		c.fail(fmt.Errorf("netrun: writing frame prefix: %w", err))
-		return false
-	}
-	if _, err := c.nc.Write(payload); err != nil {
+	c.wbuf = append(c.wbuf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(c.wbuf, uint32(len(payload)))
+	c.wbuf = append(c.wbuf, payload...)
+	if _, err := c.nc.Write(c.wbuf); err != nil {
 		c.fail(fmt.Errorf("netrun: writing frame: %w", err))
 		return false
 	}
