@@ -89,6 +89,10 @@ func Default() *Policy {
 			// rounds (leases included), which is what keeps the journal
 			// replayable.
 			"internal/netrun/transport.go",
+			// The barrier's stall timer and the receive pump's blocking
+			// reads: the concurrent barrier's only clock, paired with
+			// transport.go's deadlines.
+			"internal/netrun/pump.go",
 		),
 		GoroutineExemptFiles: set(
 			// The persistent shard pool behind the engine's parallel
@@ -109,6 +113,11 @@ func Default() *Policy {
 			"internal/netrun/transport.go",
 			"internal/netrun/httpd.go",
 			"internal/netrun/cluster.go",
+			// The per-peer receive pumps feeding the round barrier's
+			// mailboxes: they only decode and park frames — every commit
+			// still happens on the single round-loop goroutine, after the
+			// barrier has one same-round frame from every peer.
+			"internal/netrun/pump.go",
 		),
 		RegistryPkg: "specstab/internal/scenario",
 	}

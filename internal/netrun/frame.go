@@ -180,21 +180,36 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 // oversized counts and trailing bytes are all errors. It never panics on
 // any input — FuzzFrameDecode holds it to that.
 func DecodeFrame(p []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := DecodeFrameInto(f, p); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeFrameInto parses one payload with DecodeFrame's exact semantics
+// and strictness, but decodes into f, reusing the capacity of
+// f.Round.Sel and f.Round.Data instead of allocating when they already
+// fit — the receive pumps decode every round into per-peer scratch
+// frames, so the steady-state decode path never touches the heap. Only
+// the decoded kind's fields are written; fields of other kinds keep
+// their previous contents. On error f is left partially written.
+func DecodeFrameInto(f *Frame, p []byte) error {
 	if len(p) < headerLen {
-		return nil, fmt.Errorf("netrun: frame %d bytes shorter than the %d-byte header", len(p), headerLen)
+		return fmt.Errorf("netrun: frame %d bytes shorter than the %d-byte header", len(p), headerLen)
 	}
 	if m := binary.BigEndian.Uint32(p); m != frameMagic {
-		return nil, fmt.Errorf("netrun: bad frame magic %#08x", m)
+		return fmt.Errorf("netrun: bad frame magic %#08x", m)
 	}
 	if v := binary.BigEndian.Uint16(p[4:]); v != frameVersion {
-		return nil, fmt.Errorf("netrun: frame version %d, this build speaks %d", v, frameVersion)
+		return fmt.Errorf("netrun: frame version %d, this build speaks %d", v, frameVersion)
 	}
-	f := &Frame{Kind: Kind(p[6])}
+	f.Kind = Kind(p[6])
 	body := p[headerLen:]
 	switch f.Kind {
 	case KindHello:
 		if len(body) != 16 {
-			return nil, fmt.Errorf("netrun: hello body %d bytes, want 16", len(body))
+			return fmt.Errorf("netrun: hello body %d bytes, want 16", len(body))
 		}
 		f.Hello.Node = binary.BigEndian.Uint32(body)
 		f.Hello.Nodes = binary.BigEndian.Uint32(body[4:])
@@ -202,7 +217,7 @@ func DecodeFrame(p []byte) (*Frame, error) {
 	case KindRound:
 		const fixed = 8 + 4 + 2 + 8 + 4 + 4 + 4
 		if len(body) < fixed {
-			return nil, fmt.Errorf("netrun: round body %d bytes shorter than the %d-byte fixed part", len(body), fixed)
+			return fmt.Errorf("netrun: round body %d bytes shorter than the %d-byte fixed part", len(body), fixed)
 		}
 		r := &f.Round
 		r.Round = binary.BigEndian.Uint64(body)
@@ -213,42 +228,55 @@ func DecodeFrame(p []byte) (*Frame, error) {
 		r.Active = binary.BigEndian.Uint32(body[26:])
 		count := binary.BigEndian.Uint32(body[30:])
 		if r.Words == 0 || r.Words > maxWords {
-			return nil, fmt.Errorf("netrun: frame words %d outside [1, %d]", r.Words, maxWords)
+			return fmt.Errorf("netrun: frame words %d outside [1, %d]", r.Words, maxWords)
 		}
 		// Exact-length check before any allocation: count and words are
 		// attacker-controlled, the length prefix is the truth.
 		want := fixed + int64(count)*4 + int64(count)*int64(r.Words)*8
 		if want > MaxFrame {
-			return nil, fmt.Errorf("netrun: round frame claims %d bytes, above MaxFrame %d", want, MaxFrame)
+			return fmt.Errorf("netrun: round frame claims %d bytes, above MaxFrame %d", want, MaxFrame)
 		}
 		if int64(len(body)) != want {
-			return nil, fmt.Errorf("netrun: round body %d bytes, %d selections × %d words needs %d",
+			return fmt.Errorf("netrun: round body %d bytes, %d selections × %d words needs %d",
 				len(body), count, r.Words, want)
 		}
-		r.Sel = make([]uint32, count)
+		// Capacity reuse: reslice scratch when it fits, allocate when it
+		// does not (or on the first decode — a fresh make keeps the
+		// non-nil empty-slice shape DecodeFrame has always produced for
+		// count=0 frames).
+		if r.Sel == nil || cap(r.Sel) < int(count) {
+			r.Sel = make([]uint32, count)
+		} else {
+			r.Sel = r.Sel[:count]
+		}
 		off := fixed
 		prev := int64(-1)
 		for i := range r.Sel {
 			r.Sel[i] = binary.BigEndian.Uint32(body[off:])
 			if int64(r.Sel[i]) <= prev {
-				return nil, fmt.Errorf("netrun: selection list not strictly ascending at index %d", i)
+				return fmt.Errorf("netrun: selection list not strictly ascending at index %d", i)
 			}
 			prev = int64(r.Sel[i])
 			off += 4
 		}
-		r.Data = make([]int64, int(count)*int(r.Words))
+		n := int(count) * int(r.Words)
+		if r.Data == nil || cap(r.Data) < n {
+			r.Data = make([]int64, n)
+		} else {
+			r.Data = r.Data[:n]
+		}
 		for i := range r.Data {
 			r.Data[i] = int64(binary.BigEndian.Uint64(body[off:]))
 			off += 8
 		}
 	case KindBye:
 		if len(body) != 12 {
-			return nil, fmt.Errorf("netrun: bye body %d bytes, want 12", len(body))
+			return fmt.Errorf("netrun: bye body %d bytes, want 12", len(body))
 		}
 		f.Bye.Node = binary.BigEndian.Uint32(body)
 		f.Bye.Round = binary.BigEndian.Uint64(body[4:])
 	default:
-		return nil, fmt.Errorf("netrun: unknown frame kind %d", uint8(f.Kind))
+		return fmt.Errorf("netrun: unknown frame kind %d", uint8(f.Kind))
 	}
-	return f, nil
+	return nil
 }

@@ -12,11 +12,13 @@ package netrun
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
+	"sync/atomic"
 
 	"specstab/internal/scenario"
 )
@@ -72,54 +74,155 @@ func parseFP(s string) (uint64, error) {
 	return fp, nil
 }
 
-// journalWriter streams records to an optional sink while accumulating
-// the in-memory Journal the harness and tests read back.
+// Journal buffering: the commit path appends one hand-rolled JSONL line
+// (byte-identical to what json.Encoder produced when the journal was
+// written per round) to an in-process buffer and only touches the sink
+// when the buffer crosses journalFlushBytes or journalFlushRounds —
+// plus an explicit flush when the run ends for any reason (drain, bye,
+// fault), so every committed round a process *exits with* is on disk.
+// Only a SIGKILL can lose the buffered tail, and then the file still
+// ends at a line boundary of the last flush plus at most one torn line,
+// which ReadJournal tolerates.
+const (
+	journalFlushBytes  = 1 << 16
+	journalFlushRounds = 256
+)
+
+// journalRec is one committed round in arena form: the schedule lives
+// in one shared selArena slab instead of a per-round allocation.
+type journalRec struct {
+	round  int64
+	off, n int
+	fp     uint64
+}
+
+// journalWriter accumulates rounds in arena form (materialized on
+// demand by journal()) and streams buffered JSONL to an optional sink.
 type journalWriter struct {
-	mem Journal
-	enc *json.Encoder
+	hdr      Header
+	recs     []journalRec
+	selArena []int
+
+	sink     io.Writer
+	buf      []byte
+	pending  int          // rounds in buf since the last flush
+	buffered atomic.Int64 // len(buf), exported to telemetry
 }
 
 func newJournalWriter(h Header, sink io.Writer) (*journalWriter, error) {
-	jw := &journalWriter{mem: Journal{Header: h}}
-	if sink != nil {
-		jw.enc = json.NewEncoder(sink)
+	jw := &journalWriter{hdr: h, sink: sink}
+	if sink == nil {
+		return jw, nil
 	}
-	return jw, jw.emit(h)
+	// The header goes out immediately: a run that dies in round 1 still
+	// leaves a replayable (empty) journal, and the flush policy below
+	// only ever defers round entries.
+	b, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: writing journal: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := sink.Write(b); err != nil {
+		return nil, fmt.Errorf("netrun: writing journal: %w", err)
+	}
+	return jw, nil
 }
 
-func (jw *journalWriter) emit(rec any) error {
-	if jw.enc == nil {
+// round records one committed round. sel is copied into the arena; the
+// caller keeps ownership and may reuse it next round.
+func (jw *journalWriter) round(r int64, sel []int, fp uint64) error {
+	jw.recs = append(jw.recs, journalRec{round: r, off: len(jw.selArena), n: len(sel), fp: fp})
+	jw.selArena = append(jw.selArena, sel...)
+	if jw.sink == nil {
 		return nil
 	}
-	if err := jw.enc.Encode(rec); err != nil {
-		return fmt.Errorf("netrun: writing journal: %w", err)
+	jw.buf = appendEntryJSON(jw.buf, r, sel, fp)
+	jw.pending++
+	jw.buffered.Store(int64(len(jw.buf)))
+	if len(jw.buf) >= journalFlushBytes || jw.pending >= journalFlushRounds {
+		return jw.flush()
 	}
 	return nil
 }
 
-func (jw *journalWriter) round(e Entry) error {
-	jw.mem.Entries = append(jw.mem.Entries, e)
-	return jw.emit(e)
+// flush writes the buffered entries to the sink. Safe to call on a
+// sink-less or empty writer.
+func (jw *journalWriter) flush() error {
+	if jw.sink == nil || len(jw.buf) == 0 {
+		return nil
+	}
+	if _, err := jw.sink.Write(jw.buf); err != nil {
+		return fmt.Errorf("netrun: writing journal: %w", err)
+	}
+	jw.buf = jw.buf[:0]
+	jw.pending = 0
+	jw.buffered.Store(0)
+	return nil
+}
+
+// journal materializes the in-memory Journal from the arena. Entries
+// alias the arena's schedule slab; treat the result as read-only.
+func (jw *journalWriter) journal() *Journal {
+	j := &Journal{Header: jw.hdr, Entries: make([]Entry, len(jw.recs))}
+	for i, rec := range jw.recs {
+		j.Entries[i] = Entry{
+			Kind:  "round",
+			Round: rec.round,
+			Sel:   jw.selArena[rec.off : rec.off+rec.n : rec.off+rec.n],
+			FP:    fpString(rec.fp),
+		}
+	}
+	return j
+}
+
+// appendEntryJSON appends one round entry, byte-for-byte what
+// json.Encoder.Encode(Entry{...}) writes — TestJournalEntryJSON holds
+// the two codecs together — without allocating.
+func appendEntryJSON(b []byte, r int64, sel []int, fp uint64) []byte {
+	b = append(b, `{"kind":"round","round":`...)
+	b = strconv.AppendInt(b, r, 10)
+	b = append(b, `,"sel":[`...)
+	for i, v := range sel {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, `],"fp":"`...)
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, "0123456789abcdef"[(fp>>uint(shift))&0xf])
+	}
+	return append(b, '"', '}', '\n')
 }
 
 // ReadJournal parses a JSONL journal: exactly one header first, then
 // round records in strictly increasing round order starting at 1 (the
-// ordering is what makes the schedule a schedule).
+// ordering is what makes the schedule a schedule). A record that is not
+// valid JSON is tolerated only as the journal's final line — that is
+// the torn tail a SIGKILL mid-flush leaves behind, and every complete
+// round before it still replays. The same damage anywhere else, or any
+// semantic violation (unknown kind, sparse rounds, second header), is a
+// hard error.
 func ReadJournal(r io.Reader) (*Journal, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxFrame)
 	var j Journal
-	for line := 1; ; line++ {
-		var raw json.RawMessage
-		if err := dec.Decode(&raw); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("netrun: journal record %d: %w", line, err)
+	var torn error
+	for line := 1; sc.Scan(); line++ {
+		raw := sc.Bytes()
+		if torn != nil {
+			// The malformed record was not the final line after all.
+			return nil, torn
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
 		}
 		var kind struct {
 			Kind string `json:"kind"`
 		}
 		if err := json.Unmarshal(raw, &kind); err != nil {
-			return nil, fmt.Errorf("netrun: journal record %d: %w", line, err)
+			torn = fmt.Errorf("netrun: journal record %d: %w", line, err)
+			continue
 		}
 		switch kind.Kind {
 		case "header":
@@ -135,7 +238,8 @@ func ReadJournal(r io.Reader) (*Journal, error) {
 			}
 			var e Entry
 			if err := json.Unmarshal(raw, &e); err != nil {
-				return nil, fmt.Errorf("netrun: journal record %d: %w", line, err)
+				torn = fmt.Errorf("netrun: journal record %d: %w", line, err)
+				continue
 			}
 			if want := int64(len(j.Entries) + 1); e.Round != want {
 				return nil, fmt.Errorf("netrun: journal record %d: round %d, want %d (rounds must be dense from 1)",
@@ -145,6 +249,9 @@ func ReadJournal(r io.Reader) (*Journal, error) {
 		default:
 			return nil, fmt.Errorf("netrun: journal record %d: unknown kind %q", line, kind.Kind)
 		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netrun: reading journal: %w", err)
 	}
 	if j.Header.Kind != "header" {
 		return nil, fmt.Errorf("netrun: journal has no header record")

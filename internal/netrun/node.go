@@ -78,17 +78,28 @@ type Node struct {
 	fp     uint64          // fingerprint after the last committed round
 	rng    *rand.Rand      // node-local selection coin (distributed policy)
 
-	// Reused per-round buffers (round loop only).
-	shardVs []int
-	rules   []sim.Rule
-	selBuf  []int
-	ruleBuf []sim.Rule
-	sel32   []uint32
-	outBuf  []int64
+	// Reused per-round buffers (round loop only). frameScratch is the
+	// node's own contribution; framesBuf/unionBuf/activeBuf are the
+	// commit's working set, hoisted here so the steady-state round loop
+	// never allocates.
+	shardVs      []int
+	rules        []sim.Rule
+	selBuf       []int
+	ruleBuf      []sim.Rule
+	sel32        []uint32
+	outBuf       []int64
+	frameScratch Frame
+	framesBuf    []*RoundFrame
+	unionBuf     []int
+	activeBuf    []uint32
 
 	ln        net.Listener
 	peerAddrs []string
 	peers     []*Conn
+	rxs       []*rxPump
+	// barrierTimer is the barrier's reusable stall timer (pump.go owns
+	// all Reset/Stop calls — this file stays wall-clock-free).
+	barrierTimer *time.Timer
 
 	gate *gate
 	hs   *httpServer
@@ -103,6 +114,8 @@ type Node struct {
 	framesOut atomic.Int64
 	framesIn  atomic.Int64
 	stalls    atomic.Int64
+	bytesOut  atomic.Int64
+	bytesIn   atomic.Int64
 }
 
 // NewNode validates cfg, builds the lock and its flat kernels, and packs
@@ -164,6 +177,9 @@ func NewNode(cfg Config) (*Node, error) {
 	nd.ruleBuf = make([]sim.Rule, 0, shard)
 	nd.sel32 = make([]uint32, 0, shard)
 	nd.outBuf = make([]int64, shard*nd.words)
+	nd.framesBuf = make([]*RoundFrame, spec.Nodes)
+	nd.unionBuf = make([]int, 0, n)
+	nd.activeBuf = make([]uint32, 0, spec.Nodes)
 	nd.gate = newGate(nd.id, nd.nodes, n, nd.lo, nd.hi, spec.Capacity, int64(spec.LeaseRounds), lock)
 	nd.peers = make([]*Conn, spec.Nodes)
 	nd.peerAddrs = append([]string(nil), cfg.PeerAddrs...)
@@ -240,7 +256,10 @@ func (nd *Node) Connect() error {
 	// slowest-starting peer.
 	patience := time.Duration(retries)*(time.Duration(retries+1)/2)*backoff + time.Duration(retries+1)*timeout
 	hello := Hello{Node: uint32(nd.id), Nodes: uint32(nd.nodes), SpecHash: nd.spec.hash()}
-	ours, err := AppendFrame(nil, &Frame{Kind: KindHello, Hello: hello})
+	ours := acquireWire()
+	defer ours.release()
+	var err error
+	ours.b, err = AppendWireFrame(ours.b, &Frame{Kind: KindHello, Hello: hello})
 	if err != nil {
 		return err
 	}
@@ -250,6 +269,7 @@ func (nd *Node) Connect() error {
 			nd.closePeers()
 			return err
 		}
+		ours.retain()
 		if err := c.Send(ours); err != nil {
 			nd.closePeers()
 			return err
@@ -273,6 +293,7 @@ func (nd *Node) Connect() error {
 			nd.closePeers()
 			return err
 		}
+		ours.retain()
 		if err := c.Send(ours); err != nil {
 			c.Close()
 			nd.closePeers()
@@ -338,9 +359,15 @@ func (nd *Node) validateHello(h Hello, want int, specHash uint64) error {
 // Run drives the round loop until maxRounds commits (0 = unbounded), a
 // drain completes, a peer says bye, or a fault breaks the barrier. Only
 // a fault returns an error; the node's replica and journal are valid in
-// every case.
+// every case. The steady-state iteration is allocation-free: the frame
+// is encoded into a pooled buffer the write pumps release after the
+// wire write, peer frames arrive pre-decoded in recycled scratch from
+// the receive pumps, and the commit's working set lives on the Node.
 func (nd *Node) Run(maxRounds int64) error {
 	defer nd.closePeers()
+	defer nd.jw.flush()
+	nd.startPumps()
+	defer nd.stopPumps()
 	for {
 		if nd.draining.Load() && nd.gate.idle() {
 			return nd.sayBye()
@@ -361,36 +388,49 @@ func (nd *Node) Run(maxRounds int64) error {
 		for _, v := range sel {
 			nd.sel32 = append(nd.sel32, uint32(v))
 		}
-		own := RoundFrame{
+		nd.frameScratch.Kind = KindRound
+		nd.frameScratch.Round = RoundFrame{
 			Round: uint64(r), Node: uint32(nd.id), Words: uint16(nd.words),
 			PrevFP: nd.fp, Enabled: uint32(enabled), Active: uint32(nd.gate.activeCount()),
 			Sel: nd.sel32, Data: out,
 		}
-		// The payload is handed to the write pumps, which hold it beyond
-		// this iteration: encode into a fresh buffer every round.
-		payload, err := AppendFrame(nil, &Frame{Kind: KindRound, Round: own})
+		// Encode once into a pooled buffer and fan the same bytes out to
+		// every write pump, one reference each; the pump that writes last
+		// returns the buffer to the pool.
+		w := acquireWire()
+		var err error
+		w.b, err = AppendWireFrame(w.b, &nd.frameScratch)
 		if err != nil {
+			w.release()
 			return err
 		}
+		wire := int64(len(w.b))
 		for j, c := range nd.peers {
 			if c == nil {
 				continue
 			}
-			if err := c.Send(payload); err != nil {
+			w.retain()
+			if err := c.Send(w); err != nil {
+				w.release()
 				nd.stalled.Store(true)
 				return fmt.Errorf("netrun: node %d: sending round %d to peer %d: %w", nd.id, r, j, err)
 			}
 			nd.framesOut.Add(1)
+			nd.bytesOut.Add(wire)
 		}
+		w.release()
 
 		// Barrier: one same-round frame from every peer, or no commit.
-		frames := make([]*RoundFrame, nd.nodes)
-		frames[nd.id] = &own
+		// The pumps decode concurrently; collecting peer j here never
+		// blocks peer k's progress, so the barrier costs the max — not
+		// the sum — of peer latencies.
+		frames := nd.framesBuf
+		frames[nd.id] = &nd.frameScratch.Round
 		for j := range nd.peers {
 			if j == nd.id {
 				continue
 			}
-			f, bye, err := nd.recvRound(j, r)
+			f, bye, err := nd.collectRound(j, r)
 			if err != nil {
 				nd.stalled.Store(true)
 				return err
@@ -406,7 +446,7 @@ func (nd *Node) Run(maxRounds int64) error {
 
 		// Commit: apply every shard's moved words, form the effective
 		// schedule, refresh the shadow and fingerprint, journal, grant.
-		union := make([]int, 0, len(sel)*nd.nodes)
+		union := nd.unionBuf[:0]
 		for j, f := range frames {
 			jlo, jhi := shardRange(nd.n, nd.nodes, j)
 			for i, v32 := range f.Sel {
@@ -419,6 +459,7 @@ func (nd *Node) Run(maxRounds int64) error {
 				union = append(union, v)
 			}
 		}
+		nd.unionBuf = union
 		if len(union) == 0 {
 			// The protocol is terminal (no vertex enabled anywhere) —
 			// unreachable for deadlock-free locks, but never journal a
@@ -430,20 +471,60 @@ func (nd *Node) Run(maxRounds int64) error {
 		nd.fp = sim.FingerprintConfig(nd.shadow)
 		nd.fpPub.Store(nd.fp)
 		nd.round.Store(r)
-		if err := nd.jw.round(Entry{Kind: "round", Round: r, Sel: union, FP: fpString(nd.fp)}); err != nil {
+		if err := nd.jw.round(r, union, nd.fp); err != nil {
 			return err
 		}
-		peerActive := make([]uint32, 0, nd.nodes-1)
+		peerActive := nd.activeBuf[:0]
 		for j, f := range frames {
 			if j != nd.id {
 				peerActive = append(peerActive, f.Active)
 			}
 		}
+		nd.activeBuf = peerActive
 		nd.gate.step(r, nd.shadow, peerActive)
+		// Hand the peers' scratch frames back to their pumps; the next
+		// round (possibly already in flight) decodes into them.
+		for j, f := range frames {
+			if j != nd.id && nd.rxs[j] != nil {
+				nd.rxs[j].recycle(f)
+			}
+		}
 		if nd.cfg.Hub != nil {
 			telemetry.SampleNetrun(nd.cfg.Hub, nd)
 		}
 		pace(nd.cfg.Pace)
+	}
+}
+
+// startPumps launches one receive pump per peer connection and arms the
+// barrier's shared stall timer.
+func (nd *Node) startPumps() {
+	nd.rxs = make([]*rxPump, nd.nodes)
+	for j, c := range nd.peers {
+		if j == nd.id || c == nil {
+			continue
+		}
+		nd.rxs[j] = startRxPump(j, nd.words, c, &nd.bytesIn)
+	}
+	if nd.barrierTimer == nil {
+		nd.barrierTimer = newStallTimer()
+	}
+}
+
+// stopPumps halts every pump and waits them out. Closing the peer
+// connections is what unblocks a pump parked in a read; Run's deferred
+// closePeers runs after this, so close here too (Close is idempotent).
+func (nd *Node) stopPumps() {
+	for _, p := range nd.rxs {
+		if p != nil {
+			p.halt()
+		}
+	}
+	nd.closePeers()
+	for _, p := range nd.rxs {
+		if p != nil {
+			<-p.done
+		}
 	}
 }
 
@@ -478,18 +559,28 @@ func (nd *Node) selectLocal() (sel []int, rules []sim.Rule, enabled int) {
 	return sel, rules, enabled
 }
 
-// recvRound blocks for peer j's round-r frame, tolerating RecvRetries
-// receive timeouts (each counted as a barrier stall) before giving up.
-// A bye frame reports clean peer shutdown via the second return.
-func (nd *Node) recvRound(j int, r int64) (*RoundFrame, bool, error) {
+// collectRound takes peer j's round-r frame from its receive pump,
+// tolerating RecvRetries mailbox timeouts (each counted as a barrier
+// stall) before giving up — the same patience contract the sequential
+// barrier had, with the read deadline replaced by the shared stall
+// timer. A bye frame reports clean peer shutdown via the second return.
+//
+// The sender-identity and word-count checks moved into the pump (facts
+// about the frame); the round match and the PrevFP divergence check
+// stay here because they are facts about *this node's* progress: a
+// prefetched round-r+1 frame carries the peer's fingerprint after
+// round r, which this node only knows once its own commit of round r
+// has run.
+func (nd *Node) collectRound(j int, r int64) (*RoundFrame, bool, error) {
 	retries := nd.cfg.RecvRetries
 	if retries <= 0 {
 		retries = 5
 	}
+	p := nd.rxs[j]
 	for attempt := 0; ; attempt++ {
-		payload, err := nd.peers[j].Recv()
-		if err != nil {
-			if isTimeout(err) && attempt < retries {
+		m, ok := p.await(nd.barrierTimer, p.c.timeout)
+		if !ok {
+			if attempt < retries {
 				nd.stalls.Add(1)
 				nd.stalled.Store(true)
 				if nd.cfg.Hub != nil {
@@ -497,51 +588,46 @@ func (nd *Node) recvRound(j int, r int64) (*RoundFrame, bool, error) {
 				}
 				continue
 			}
-			return nil, false, fmt.Errorf("netrun: node %d: barrier for round %d: peer %d: %w", nd.id, r, j, err)
+			return nil, false, fmt.Errorf("netrun: node %d: barrier for round %d: peer %d: %w", nd.id, r, j, errBarrierTimeout)
 		}
-		f, err := DecodeFrame(payload)
-		if err != nil {
-			return nil, false, fmt.Errorf("netrun: node %d: peer %d: %w", nd.id, j, err)
+		if m.err != nil {
+			return nil, false, fmt.Errorf("netrun: node %d: barrier for round %d: peer %d: %w", nd.id, r, j, m.err)
 		}
-		switch f.Kind {
-		case KindBye:
+		if m.bye {
 			return nil, true, nil
-		case KindRound:
-			rf := &f.Round
-			if rf.Round != uint64(r) {
-				return nil, false, fmt.Errorf("netrun: peer %d sent round %d during round %d — barrier broken", j, rf.Round, r)
-			}
-			if int(rf.Node) != j {
-				return nil, false, fmt.Errorf("netrun: frame from peer %d claims node %d", j, rf.Node)
-			}
-			if int(rf.Words) != nd.words {
-				return nil, false, fmt.Errorf("netrun: peer %d packs %d words per vertex, this node %d", j, rf.Words, nd.words)
-			}
-			if rf.PrevFP != nd.fp {
-				return nil, false, fmt.Errorf("netrun: replica divergence at round %d: peer %d entered with fingerprint %016x, this node %016x", r, j, rf.PrevFP, nd.fp)
-			}
-			nd.stalled.Store(false)
-			nd.framesIn.Add(1)
-			return rf, false, nil
-		default:
-			return nil, false, fmt.Errorf("netrun: peer %d sent a %s frame mid-round", j, f.Kind)
 		}
+		rf := m.f
+		if rf.Round != uint64(r) {
+			return nil, false, fmt.Errorf("netrun: peer %d sent round %d during round %d — barrier broken", j, rf.Round, r)
+		}
+		if rf.PrevFP != nd.fp {
+			return nil, false, fmt.Errorf("netrun: replica divergence at round %d: peer %d entered with fingerprint %016x, this node %016x", r, j, rf.PrevFP, nd.fp)
+		}
+		nd.stalled.Store(false)
+		nd.framesIn.Add(1)
+		return rf, false, nil
 	}
 }
 
 // sayBye announces clean shutdown to every peer (best effort — a dead
-// peer's error is not this node's failure).
+// peer's error is not this node's failure) and flushes the journal's
+// buffered tail.
 func (nd *Node) sayBye() error {
-	payload, err := AppendFrame(nil, &Frame{Kind: KindBye, Bye: Bye{Node: uint32(nd.id), Round: uint64(nd.round.Load())}})
+	w := acquireWire()
+	var err error
+	w.b, err = AppendWireFrame(w.b, &Frame{Kind: KindBye, Bye: Bye{Node: uint32(nd.id), Round: uint64(nd.round.Load())}})
 	if err != nil {
+		w.release()
 		return err
 	}
 	for _, c := range nd.peers {
 		if c != nil {
-			_ = c.Send(payload)
+			w.retain()
+			_ = c.Send(w)
 		}
 	}
-	return nil
+	w.release()
+	return nd.jw.flush()
 }
 
 // Drain stops admitting acquires and lets Run exit once outstanding
@@ -557,9 +643,10 @@ func (nd *Node) Round() int64 { return nd.round.Load() }
 // Stalled reports whether the barrier is (or ended) stalled on a peer.
 func (nd *Node) Stalled() bool { return nd.stalled.Load() }
 
-// Journal returns the in-memory journal. Read it after Run returns; the
-// round loop appends to it concurrently while running.
-func (nd *Node) Journal() *Journal { return &nd.jw.mem }
+// Journal materializes the in-memory journal. Read it after Run
+// returns; the round loop appends to the backing arena concurrently
+// while running.
+func (nd *Node) Journal() *Journal { return nd.jw.journal() }
 
 // Status snapshots the node for the client API.
 func (nd *Node) Status() StatusReply {
@@ -581,19 +668,22 @@ func (nd *Node) NetrunStats() telemetry.NetrunStats {
 	var rep StatusReply
 	nd.gate.fill(&rep)
 	return telemetry.NetrunStats{
-		Node:          nd.id,
-		Nodes:         nd.nodes,
-		Round:         nd.round.Load(),
-		FramesOut:     nd.framesOut.Load(),
-		FramesIn:      nd.framesIn.Load(),
-		BarrierStalls: nd.stalls.Load(),
-		Grants:        rep.Grants,
-		Released:      rep.Released,
-		LeaseExpired:  rep.LeaseExpired,
-		UnsafeGrants:  rep.UnsafeGrants,
-		Backlog:       rep.Backlog,
-		Active:        rep.Active,
-		Stalled:       nd.stalled.Load(),
+		Node:            nd.id,
+		Nodes:           nd.nodes,
+		Round:           nd.round.Load(),
+		FramesOut:       nd.framesOut.Load(),
+		FramesIn:        nd.framesIn.Load(),
+		BarrierStalls:   nd.stalls.Load(),
+		BytesOut:        nd.bytesOut.Load(),
+		BytesIn:         nd.bytesIn.Load(),
+		JournalBuffered: nd.jw.buffered.Load(),
+		Grants:          rep.Grants,
+		Released:        rep.Released,
+		LeaseExpired:    rep.LeaseExpired,
+		UnsafeGrants:    rep.UnsafeGrants,
+		Backlog:         rep.Backlog,
+		Active:          rep.Active,
+		Stalled:         nd.stalled.Load(),
 	}
 }
 

@@ -3,10 +3,11 @@ package netrun
 // The peer transport: length-prefixed frames over TCP with deadlines on
 // every read and write, bounded dial retry with linear backoff, and a
 // per-connection write pump so one slow receiver cannot wedge a sender's
-// round loop. This file (together with httpd.go) is the runtime's entire
-// wall-clock surface — everything above it reasons in rounds, and the
-// speclint policy pins that boundary (internal/lint: netrun is audited,
-// transport.go and httpd.go carry the exemptions).
+// round loop. This file (together with pump.go and httpd.go) is the
+// runtime's entire wall-clock surface — everything above it reasons in
+// rounds, and the speclint policy pins that boundary (internal/lint:
+// netrun is audited; transport.go, pump.go and httpd.go carry the
+// exemptions).
 
 import (
 	"bufio"
@@ -16,6 +17,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,23 +34,59 @@ const (
 	sendDepth = 8
 )
 
-// Conn is one framed peer connection. Reads happen on the owner's round
-// loop with a deadline per frame; writes go through a pump goroutine fed
-// by a bounded queue, so Send never blocks the round loop for longer
-// than it takes the queue to drain.
+// wireBuf is one pooled, refcounted encode buffer: the round loop
+// encodes a frame once (length prefix included) and fans the same bytes
+// out to every peer's write pump, each holding one reference. The last
+// release — normally a pump, after the wire write — returns the buffer
+// to the pool, so the steady state encodes every round into memory it
+// already owns. Acquire with acquireWire (refs=1, the caller's), retain
+// once per additional holder, release symmetric.
+type wireBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var wirePool = sync.Pool{New: func() any { return new(wireBuf) }}
+
+// acquireWire returns an empty buffer holding one reference for the
+// caller.
+func acquireWire() *wireBuf {
+	w := wirePool.Get().(*wireBuf)
+	w.b = w.b[:0]
+	w.refs.Store(1)
+	return w
+}
+
+func (w *wireBuf) retain() { w.refs.Add(1) }
+
+func (w *wireBuf) release() {
+	if w.refs.Add(-1) == 0 {
+		wirePool.Put(w)
+	}
+}
+
+// Conn is one framed peer connection. Reads happen on a single owner
+// goroutine (the handshake, then the receive pump) through a reusable
+// buffer; writes go through a pump goroutine fed by a bounded queue of
+// pooled buffers, so Send never blocks the round loop for longer than it
+// takes the queue to drain.
 type Conn struct {
 	nc      net.Conn
 	br      *bufio.Reader
 	timeout time.Duration
+	rbuf    []byte // reusable receive payload buffer (single reader)
+	rdArmed bool   // a read deadline is set and must be cleared for blocking reads
 
-	out  chan []byte
+	out  chan *wireBuf
 	quit chan struct{}
 	done chan struct{}
 
-	// wbuf is the pump's scratch: prefix and payload are coalesced here
-	// so each frame costs one write syscall instead of two. Only the
-	// pump goroutine touches it.
-	wbuf []byte
+	// Write-pump scratch (pump goroutine only): the drained batch, the
+	// stable iovec backing, and the consumable net.Buffers view writev
+	// advances. Keeping the view a field stops it escaping per write.
+	batch []*wireBuf
+	vecs  [][]byte
+	vb    net.Buffers
 
 	mu     sync.Mutex
 	err    error
@@ -64,7 +102,8 @@ func newConn(nc net.Conn, timeout time.Duration) *Conn {
 		nc:      nc,
 		br:      bufio.NewReaderSize(nc, 1<<16),
 		timeout: timeout,
-		out:     make(chan []byte, sendDepth),
+		rbuf:    make([]byte, 4096),
+		out:     make(chan *wireBuf, sendDepth),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -72,24 +111,30 @@ func newConn(nc net.Conn, timeout time.Duration) *Conn {
 	return c
 }
 
-// pump drains the send queue onto the socket, one deadline per frame.
+// pump drains the send queue onto the socket in batches: everything
+// already queued goes out under one deadline arm and one syscall (a
+// plain Write for a single frame, writev via net.Buffers for several).
 // The first write error poisons the connection: subsequent Sends fail
 // fast with it instead of queueing into the void. On Close it flushes
 // what is already queued (a just-enqueued bye must reach the peer),
-// then exits.
+// then exits. Buffers are released here, after the wire write — for a
+// fanned-out round frame the pump of the slowest peer is the one that
+// returns the encode buffer to the pool.
 func (c *Conn) pump() {
 	defer close(c.done)
+	c.batch = make([]*wireBuf, 0, sendDepth)
+	c.vecs = make([][]byte, 0, sendDepth)
 	for {
 		select {
-		case payload := <-c.out:
-			if !c.write(payload) {
+		case w := <-c.out:
+			if !c.drain(w) {
 				return
 			}
 		case <-c.quit:
 			for {
 				select {
-				case payload := <-c.out:
-					if !c.write(payload) {
+				case w := <-c.out:
+					if !c.drain(w) {
 						return
 					}
 				default:
@@ -100,23 +145,74 @@ func (c *Conn) pump() {
 	}
 }
 
-// write puts one length-prefixed frame on the socket, reporting whether
-// the pump should keep going. Prefix and payload go out in a single
-// write call: two syscalls per frame halved the round rate on loopback
-// rings, and TCP gains nothing from seeing the prefix early.
-func (c *Conn) write(payload []byte) bool {
+// drain gathers w plus whatever else is already queued and writes the
+// batch with writeBatch, releasing every buffer afterwards regardless
+// of outcome.
+func (c *Conn) drain(w *wireBuf) bool {
+	batch := append(c.batch[:0], w)
+gather:
+	for len(batch) < cap(batch) {
+		select {
+		case more := <-c.out:
+			batch = append(batch, more)
+		default:
+			break gather
+		}
+	}
+	ok := c.writeBatch(batch)
+	for i, bw := range batch {
+		bw.release()
+		batch[i] = nil
+	}
+	return ok
+}
+
+// writeBatch puts one batch of wire frames on the socket under a single
+// deadline arm. Payloads are already length-prefixed (AppendWireFrame),
+// so one frame is one plain Write and several frames are one vectored
+// write — there is no separate prefix syscall to pay for, or to tear on
+// a mid-frame kill.
+func (c *Conn) writeBatch(batch []*wireBuf) bool {
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
 		c.fail(fmt.Errorf("netrun: arming write deadline: %w", err))
 		return false
 	}
-	c.wbuf = append(c.wbuf[:0], 0, 0, 0, 0)
-	binary.BigEndian.PutUint32(c.wbuf, uint32(len(payload)))
-	c.wbuf = append(c.wbuf, payload...)
-	if _, err := c.nc.Write(c.wbuf); err != nil {
-		c.fail(fmt.Errorf("netrun: writing frame: %w", err))
+	if len(batch) == 1 {
+		if _, err := c.nc.Write(batch[0].b); err != nil {
+			c.fail(fmt.Errorf("netrun: writing frame: %w", err))
+			return false
+		}
+		return true
+	}
+	vecs := c.vecs[:0]
+	for _, w := range batch {
+		vecs = append(vecs, w.b)
+	}
+	// WriteTo consumes the view (and may reslice its elements on short
+	// writes): c.vb is rebuilt from the stable c.vecs backing per batch,
+	// so only the view is advanced.
+	c.vb = net.Buffers(vecs)
+	if _, err := c.vb.WriteTo(c.nc); err != nil {
+		c.fail(fmt.Errorf("netrun: writing frame batch: %w", err))
 		return false
 	}
 	return true
+}
+
+// AppendWireFrame appends f's complete wire encoding — the transport's
+// 4-byte big-endian length prefix followed by the frame payload — to dst
+// and returns the extended slice. Encoding the prefix into the same
+// buffer is what lets the write pump put a whole frame on the socket in
+// one syscall (and batch several frames into one writev).
+func AppendWireFrame(dst []byte, f *Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := AppendFrame(dst, f)
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst, nil
 }
 
 // fail records the connection's first error.
@@ -135,35 +231,53 @@ func (c *Conn) Err() error {
 	return c.err
 }
 
-// Send enqueues one encoded payload. The caller must not mutate payload
-// afterwards (the round loop encodes once and fans the same bytes out to
-// every peer). A full queue past the IO timeout, a poisoned connection
-// and a closed connection are all errors.
-func (c *Conn) Send(payload []byte) error {
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("netrun: sending %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+// Send enqueues one wire-encoded (length-prefixed) buffer, consuming
+// one reference whether or not it succeeds: on success the write pump
+// releases it after the wire write, on failure Send releases it here.
+// The fast path is a non-blocking enqueue — the queue has headroom in
+// the steady state, so no timer is armed (time.After in a select
+// allocates a timer per call) unless the pump is actually behind. A
+// full queue past the IO timeout, a poisoned connection and a closed
+// connection are all errors.
+func (c *Conn) Send(w *wireBuf) error {
+	if len(w.b)-4 > MaxFrame {
+		w.release()
+		return fmt.Errorf("netrun: sending %d bytes exceeds MaxFrame %d", len(w.b), MaxFrame)
 	}
 	if err := c.Err(); err != nil {
+		w.release()
 		return err
 	}
 	select {
-	case c.out <- payload:
+	case c.out <- w:
+		return nil
+	default:
+	}
+	t := time.NewTimer(c.timeout)
+	defer t.Stop()
+	select {
+	case c.out <- w:
 		return nil
 	case <-c.quit:
+		w.release()
 		return errors.New("netrun: send on closed connection")
 	case <-c.done:
+		w.release()
 		if err := c.Err(); err != nil {
 			return err
 		}
 		return errors.New("netrun: send on closed connection")
-	case <-time.After(c.timeout):
+	case <-t.C:
+		w.release()
 		return fmt.Errorf("netrun: peer not draining writes for %v", c.timeout)
 	}
 }
 
 // Recv reads one frame payload, waiting at most the IO timeout. Timeout
 // errors satisfy net.Error.Timeout() — the barrier retries those as
-// stalls; any other error is a dead or corrupt peer.
+// stalls; any other error is a dead or corrupt peer. The returned slice
+// aliases the connection's reusable receive buffer and is valid only
+// until the next Recv on this connection.
 func (c *Conn) Recv() ([]byte, error) { return c.recvWithin(c.timeout) }
 
 // RecvPatient reads one frame with an explicit patience window — the
@@ -171,19 +285,41 @@ func (c *Conn) Recv() ([]byte, error) { return c.recvWithin(c.timeout) }
 // the rest of the mesh before it answers hellos.
 func (c *Conn) RecvPatient(d time.Duration) ([]byte, error) { return c.recvWithin(d) }
 
+// RecvBlocking reads one frame with no read deadline: the receive pump
+// parks here between frames, and stall patience is the barrier's job
+// (a stalled peer leaves the pump blocked; Close unblocks it through
+// the socket). Same aliasing rule as Recv.
+func (c *Conn) RecvBlocking() ([]byte, error) { return c.recvWithin(0) }
+
 func (c *Conn) recvWithin(d time.Duration) ([]byte, error) {
-	if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
-		return nil, fmt.Errorf("netrun: arming read deadline: %w", err)
+	// Arm or clear the read deadline only when the mode changes — the
+	// receive pump calls this with d=0 every frame, and re-clearing an
+	// already-clear deadline is pure timer churn.
+	if d > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return nil, fmt.Errorf("netrun: arming read deadline: %w", err)
+		}
+		c.rdArmed = true
+	} else if c.rdArmed {
+		if err := c.nc.SetReadDeadline(time.Time{}); err != nil {
+			return nil, fmt.Errorf("netrun: arming read deadline: %w", err)
+		}
+		c.rdArmed = false
 	}
-	var prefix [4]byte
-	if _, err := io.ReadFull(c.br, prefix[:]); err != nil {
+	// The prefix reads into the head of the persistent receive buffer —
+	// a stack array would escape through the io.ReadFull interface call.
+	prefix := c.rbuf[:4]
+	if _, err := io.ReadFull(c.br, prefix); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(prefix[:])
+	n := binary.BigEndian.Uint32(prefix)
 	if n > MaxFrame {
 		return nil, fmt.Errorf("netrun: peer announces a %d-byte frame, above MaxFrame %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	payload := c.rbuf[:n]
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return nil, fmt.Errorf("netrun: frame body: %w", err)
 	}

@@ -12,9 +12,13 @@ import "strconv"
 type NetrunStats struct {
 	Node, Nodes int
 	Round       int64
-	// Transport counters.
+	// Transport counters. Bytes count the wire encoding, length prefix
+	// included; JournalBuffered is the JSONL tail not yet flushed to the
+	// journal sink.
 	FramesOut, FramesIn int64
 	BarrierStalls       int64
+	BytesOut, BytesIn   int64
+	JournalBuffered     int64
 	// Gate counters.
 	Grants, Released, LeaseExpired int64
 	UnsafeGrants                   int64
@@ -33,6 +37,9 @@ const (
 	nrFramesOut    = "specstab_netrun_frames_sent_total"
 	nrFramesIn     = "specstab_netrun_frames_received_total"
 	nrStalls       = "specstab_netrun_barrier_stalls_total"
+	nrBytesOut     = "specstab_netrun_bytes_out_total"
+	nrBytesIn      = "specstab_netrun_bytes_in_total"
+	nrJournalBuf   = "specstab_netrun_journal_buffered"
 	nrGrants       = "specstab_netrun_grants_total"
 	nrReleased     = "specstab_netrun_releases_total"
 	nrLeaseExpired = "specstab_netrun_lease_expired_total"
@@ -51,6 +58,9 @@ func SampleNetrun(h *Hub, src NetrunSource) {
 	h.SetCounter(nrFramesOut, "shard frames sent to peers", float64(s.FramesOut), node)
 	h.SetCounter(nrFramesIn, "shard frames received from peers", float64(s.FramesIn), node)
 	h.SetCounter(nrStalls, "barrier receive timeouts (slow peer, round held)", float64(s.BarrierStalls), node)
+	h.SetCounter(nrBytesOut, "frame bytes written to peers, length prefixes included", float64(s.BytesOut), node)
+	h.SetCounter(nrBytesIn, "frame bytes read from peers, length prefixes included", float64(s.BytesIn), node)
+	h.SetGauge(nrJournalBuf, "journal JSONL bytes buffered, not yet flushed to the sink", float64(s.JournalBuffered), node)
 	h.SetCounter(nrGrants, "lock grants issued", float64(s.Grants), node)
 	h.SetCounter(nrReleased, "lock grants released by clients", float64(s.Released), node)
 	h.SetCounter(nrLeaseExpired, "grants reclaimed at the lease horizon", float64(s.LeaseExpired), node)
