@@ -82,7 +82,12 @@
 // named locks over HTTP/JSON with round-denominated leases, and each
 // node journals the effective schedule so `lockd -replay` can re-verify
 // the whole run against the deterministic engine fingerprint-by-
-// fingerprint (examples/lockd is the end-to-end walkthrough).
+// fingerprint (examples/lockd is the end-to-end walkthrough). The
+// transport round loop runs allocation-free in the steady state —
+// pooled refcounted frames, one vectored write per peer per round,
+// per-peer receive pumps feeding a concurrent barrier, and a buffered
+// journal — pinned by TestRoundLoopAllocs and measured against the
+// sequential baseline in BENCH_netrun.json.
 //
 // The determinism and capability contracts above are machine-checked:
 // `go run ./cmd/speclint ./...` (internal/lint, DESIGN.md §10) statically
